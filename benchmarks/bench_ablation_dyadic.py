@@ -1,0 +1,75 @@
+"""Ablation: exact vs hashed small levels in the dyadic hierarchy.
+
+DESIGN.md records the decision to count the high dyadic levels (few
+ranges, all of them active and massive) with exact per-range counters
+instead of a hashed Count-Min row of the same size.  This ablation
+compares range-sum accuracy and structure size for both variants.
+Expected shape: the exact variant's range-sum error is a fraction of the
+hashed variant's at equal Delta, at comparable or smaller size (one row
+instead of d).
+"""
+
+from conftest import run_once
+
+from repro.eval import harness
+from repro.eval.reporting import report
+from repro.streams.truth import GroundTruth
+from repro.core.heavy_hitters import PersistentHeavyHitters
+
+LENGTH = harness.scaled(20_000)
+DELTA = 8
+RANGES = [(0, 63), (100, 400), (37, 1500)]
+
+
+def build(exact: bool) -> tuple[PersistentHeavyHitters, GroundTruth]:
+    stream = harness.get_compact_dataset("ObjectID", LENGTH)
+    structure = PersistentHeavyHitters(
+        universe=stream.universe or int(stream.items.max()) + 1,
+        width=512,
+        depth=3,
+        delta=DELTA,
+        seed=5,
+        exact_small_levels=exact,
+    )
+    structure.ingest(stream)
+    return structure, harness.get_compact_truth("ObjectID", LENGTH)
+
+
+def run_ablation() -> dict:
+    s, t = harness.paper_window(LENGTH)
+    rows = []
+    variants = {}
+    for exact in (True, False):
+        structure, truth = build(exact)
+        errors = []
+        for lo, hi in RANGES:
+            hi = min(hi, structure.universe - 1)
+            actual = sum(
+                truth.frequency(item, s, t) for item in range(lo, hi + 1)
+            )
+            estimate = structure.range_sum(lo, hi, s, t)
+            errors.append(abs(estimate - actual))
+        variants[exact] = (structure.persistence_words(), errors)
+        rows.append(
+            (
+                "exact" if exact else "hashed",
+                structure.persistence_words(),
+                *[round(e, 1) for e in errors],
+            )
+        )
+    report(
+        f"Ablation: exact vs hashed small dyadic levels "
+        f"(ObjectID, m={LENGTH}, delta={DELTA}, window ({s}, {t}])",
+        ["levels", "words", "err[0,63]", "err[100,400]", "err[37,1500]"],
+        rows,
+        json_name="ablation_dyadic",
+    )
+    return {"variants": variants}
+
+
+def test_ablation_dyadic(benchmark):
+    result = run_once(benchmark, run_ablation)
+    exact_words, exact_errors = result["variants"][True]
+    hashed_words, hashed_errors = result["variants"][False]
+    # The exact variant is never less accurate in aggregate.
+    assert sum(exact_errors) <= sum(hashed_errors)

@@ -1,0 +1,66 @@
+"""Ablation: join-query time with vs without fractional cascading.
+
+The paper's query-time remarks (Sections 3.3/4.2) improve the
+``O(w d log m)`` join-size query to ``O(w d + log m)`` via fractional
+cascading [10].  This ablation times historical-window self-join queries
+on the same persistent AMS sketch with the per-list binary-search path
+and with the :class:`~repro.persistence.timeline.TimelineIndex` path.
+Expected shape: identical answers (asserted), with the cascading path's
+advantage growing as the history lists get longer (small Delta).
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.eval import harness
+from repro.eval.reporting import report
+
+LENGTH = harness.scaled(60_000)
+DELTAS = (10, 40, 160)
+QUERIES = 20
+
+
+def run_ablation() -> dict:
+    rows = []
+    s, t = harness.paper_window(LENGTH)
+    for delta in DELTAS:
+        sketch = harness.build_sample("Zipf_3", LENGTH, delta)
+        windows = [
+            (s + i * 37, t - i * 53) for i in range(QUERIES)
+        ]
+
+        sketch._timeline = None  # force the binary-search path
+        start = time.perf_counter()
+        baseline = [sketch.self_join_size(a, b) for a, b in windows]
+        bisect_time = time.perf_counter() - start
+
+        sketch.build_timeline()
+        start = time.perf_counter()
+        cascaded = [sketch.self_join_size(a, b) for a, b in windows]
+        cascade_time = time.perf_counter() - start
+
+        assert cascaded == baseline  # pure optimization, same answers
+        rows.append(
+            (
+                delta,
+                round(1000 * bisect_time / QUERIES, 3),
+                round(1000 * cascade_time / QUERIES, 3),
+                round(bisect_time / cascade_time, 2),
+            )
+        )
+    report(
+        f"Ablation: self-join query time, binary search vs fractional "
+        f"cascading (m={LENGTH}, {QUERIES} queries each)",
+        ["delta", "bisect ms/query", "cascade ms/query", "speedup"],
+        rows,
+        json_name="ablation_timeline",
+    )
+    return {"rows": rows}
+
+
+def test_ablation_timeline(benchmark):
+    result = run_once(benchmark, run_ablation)
+    assert len(result["rows"]) == len(DELTAS)
+    for _delta, bisect_ms, cascade_ms, _speedup in result["rows"]:
+        assert bisect_ms > 0 and cascade_ms > 0

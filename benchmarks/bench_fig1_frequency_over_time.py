@@ -1,0 +1,33 @@
+"""Figure 1: frequency of the top-5 URLs over time, from the persistent
+sketch alone.
+
+Paper: the approximated curves ("-A") track the true curves ("-T")
+closely at every day, demonstrating that the whole history is queryable
+without the raw stream.  Expected shape here: per-checkpoint estimates
+within the Theorem 3.1 bound of truth for every top-5 item.
+"""
+
+from conftest import run_once
+
+from repro.eval import harness, theory
+from repro.eval.experiments import LENGTH_STORY, run_fig1
+
+DELTA = 60
+
+
+def test_fig1_frequency_over_time(benchmark):
+    result = run_once(benchmark, run_fig1, LENGTH_STORY, DELTA)
+    rows = result["rows"]
+    assert len(rows) == 10
+    eps = theory.eps_for_countmin_width(harness.BENCH_WIDTH_CM)
+    for row in rows:
+        day = row[0]
+        t = LENGTH_STORY * day // 10
+        bound = theory.countmin_point_error_bound(eps, DELTA, t)
+        pairs = list(zip(row[1::2], row[2::2]))
+        for true_freq, estimate in pairs:
+            assert abs(estimate - true_freq) <= bound
+        # Running frequencies are non-decreasing in time for each URL.
+    for col in range(1, 11, 2):
+        series = [row[col] for row in rows]
+        assert series == sorted(series)

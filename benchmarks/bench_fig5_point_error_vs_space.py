@@ -1,0 +1,29 @@
+"""Figure 5: point-query error vs actual sketch size (the error-space
+tradeoff).
+
+Paper: PLA gives the best tradeoff on Zipf_3 and ObjectID (smaller space
+at equal error); on ClientID there is no major difference.  Expected
+shape here: at every Delta, PLA's (space, error) point Pareto-dominates
+PWC_CountMin's on the skewed datasets.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_fig5
+
+
+def test_fig5_point_error_vs_space(benchmark, dataset):
+    result = run_once(benchmark, run_fig5, dataset)
+    rows = result["rows"]
+    assert len(rows) >= 5
+    for row in rows:
+        _delta, ams_w, ams_e, pla_w, pla_e, cm_w, cm_e = row
+        assert ams_w >= 0 and pla_w >= 0 and cm_w >= 0
+        assert ams_e >= 0 and pla_e >= 0 and cm_e >= 0
+    if dataset in ("Zipf_3", "ObjectID"):
+        for row in rows:
+            _delta, _ams_w, _ams_e, pla_w, pla_e, cm_w, cm_e = row
+            # Pareto dominance: PLA uses less space and is at least as
+            # accurate (small tolerance for query noise).
+            assert pla_w <= cm_w
+            assert pla_e <= cm_e * 1.15

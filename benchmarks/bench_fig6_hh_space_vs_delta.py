@@ -1,0 +1,28 @@
+"""Figure 6: heavy-hitter structure size vs Delta.
+
+Paper: the dyadic construction scales the point-query space by ~log n,
+so the Figure 3 tradeoffs reappear a level up — PLA below PWC_CountMin
+on the skewed datasets, both shrinking with Delta.  Expected shape here:
+the same dominance and monotonicity.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_fig6
+
+
+def test_fig6_hh_space_vs_delta(benchmark, dataset):
+    result = run_once(benchmark, run_fig6, dataset)
+    rows = result["rows"]
+    assert len(rows) >= 5
+    for _delta, pla_words, pwc_words in rows:
+        assert pla_words >= 0
+        assert pwc_words >= 0
+    # Non-increasing in Delta.
+    for col in (1, 2):
+        series = [row[col] for row in rows]
+        assert all(a >= b for a, b in zip(series, series[1:]))
+    if dataset in ("Zipf_3", "ObjectID"):
+        total_pla = sum(row[1] for row in rows)
+        total_pwc = sum(row[2] for row in rows)
+        assert total_pla <= total_pwc

@@ -1,0 +1,29 @@
+"""Figure 8: heavy-hitter precision and recall vs actual sketch size.
+
+Paper: on Zipf_3 and ObjectID the PWC recall becomes unusable once the
+sketch shrinks toward 10^4 words, while PLA retains both high recall and
+high precision at (much) smaller sizes; on ClientID there is no clear
+winner.  Expected shape here: at the smallest sketch sizes in the sweep,
+PLA's recall exceeds PWC's on the skewed datasets.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_fig8
+
+
+def test_fig8_hh_quality_vs_space(benchmark, dataset):
+    result = run_once(benchmark, run_fig8, dataset)
+    rows = result["rows"]
+    assert len(rows) >= 5
+    for row in rows:
+        _delta, pla_w, pla_p, pla_r, pwc_w, pwc_p, pwc_r = row
+        assert pla_w >= 0 and pwc_w >= 0
+        for value in (pla_p, pla_r, pwc_p, pwc_r):
+            assert 0.0 <= value <= 1.0
+    if dataset in ("Zipf_3", "ObjectID"):
+        # At the large-Delta end both structures are small, and PLA keeps
+        # recall where PWC loses it.
+        smallest = rows[-1]
+        assert smallest[1] <= smallest[4]  # PLA smaller or equal space
+        assert smallest[3] >= smallest[6]  # PLA recall at least PWC's

@@ -1,0 +1,64 @@
+"""URL trending over time — the paper's Section 1.5 illustrating example.
+
+A website receives a huge stream of requests.  We want the most
+frequently requested URLs and, more importantly, *how their popularity
+changed over time* — without storing the raw log.  A persistent Count-Min
+sketch plus the dyadic heavy-hitter structure answer both from memory.
+
+Run:  python examples/url_trending.py
+"""
+
+from repro import GroundTruth, PersistentCountMin, PersistentHeavyHitters
+from repro.eval.harness import compact_items
+from repro.streams.worldcup import object_id_stream
+
+DAYS = 10
+
+
+def main() -> None:
+    # A WorldCup-like URL stream: ~500 hot pages whose popularity drifts
+    # over the "day" (see repro.streams.worldcup for the trace profile).
+    stream = object_id_stream(100_000, seed=5)
+    truth = GroundTruth(stream)
+    per_day = len(stream) // DAYS
+
+    sketch = PersistentCountMin(width=2048, depth=5, delta=50)
+    sketch.ingest(stream)
+
+    # --- Figure 1 style: top-5 URL frequency trajectory ----------------
+    top5 = [item for item, _ in truth.top_k(5)]
+    print("cumulative requests per URL at each day (T=true, A=approx):")
+    header = "day  " + "  ".join(f"{f'url_{u}':>22}" for u in top5)
+    print(header)
+    for day in range(1, DAYS + 1):
+        t = day * per_day
+        cells = []
+        for url in top5:
+            actual = truth.frequency(url, 0, t)
+            estimate = sketch.point(url, 0, t)
+            cells.append(f"T={actual:>7} A={estimate:>8.0f}")
+        print(f"{day:>3}  " + "  ".join(f"{c:>22}" for c in cells))
+
+    # --- Who trended in the afternoon? ---------------------------------
+    # Historical *window* heavy hitters: the dyadic structure finds the
+    # heavy URLs of any past interval, here days 6-8.
+    compact = compact_items(stream)
+    hh = PersistentHeavyHitters(
+        universe=compact.universe, width=1024, depth=4, delta=25
+    )
+    hh.ingest(compact)
+    s, t = 5 * per_day, 8 * per_day
+    phi = 0.005
+    found = hh.heavy_hitters(phi, s, t)
+    actual = GroundTruth(compact).heavy_hitters(phi, s, t)
+    hits = len(set(found) & set(actual))
+    print()
+    print(f"heavy hitters of days 6-8 (phi={phi}):")
+    print(f"  returned {len(found)}, true {len(actual)}, overlap {hits}")
+    print(f"  heavy-hitter structure size: {hh.persistence_words()} words")
+    print(f"  point-sketch size:           {sketch.persistence_words()} words")
+    print(f"  raw log would need:          {2 * len(stream)} words")
+
+
+if __name__ == "__main__":
+    main()

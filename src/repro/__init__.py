@@ -1,0 +1,87 @@
+"""repro — persistent data sketching.
+
+A from-scratch reproduction of *Persistent Data Sketching* (Wei, Luo, Yi,
+Du, Wen — SIGMOD 2015): streaming sketches that remain queryable at **any
+past time window** ``(s, t]`` while staying sublinear in the stream length.
+
+Quickstart
+----------
+>>> from repro import PersistentCountMin
+>>> sketch = PersistentCountMin(width=256, depth=5, delta=16)
+>>> for t, item in enumerate([3, 7, 3, 3, 9], start=1):
+...     sketch.update(item, time=t)
+>>> sketch.point(3, s=0, t=3)   # how many 3s in the first three ticks?
+2.0
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+paper's evaluation, table by table and figure by figure.
+"""
+
+from repro.core import (
+    HistoricalAMS,
+    HistoricalCountMin,
+    HistoricalHeavyHitters,
+    JoinEstimate,
+    PersistentAMS,
+    PersistentCountMin,
+    PersistentHeavyHitters,
+    PersistentQuantiles,
+    PersistentSketch,
+    PersistentWavelets,
+    PWCAMS,
+    PWCCountMin,
+    SlidingWindowView,
+    make_ams_pair,
+    window_join_size,
+)
+from repro.baselines import ExponentialHistogram
+from repro.core.estimates import Estimate, ams_point, countmin_point
+from repro.store import ShardedPersistentSketch, SketchStore, StreamSpec
+from repro.sketch import AMSSketch, CountMinSketch, ExactFrequency
+from repro.streams import (
+    GroundTruth,
+    Stream,
+    Update,
+    client_id_stream,
+    object_id_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PersistentSketch",
+    "PersistentCountMin",
+    "PWCCountMin",
+    "PersistentAMS",
+    "PWCAMS",
+    "HistoricalCountMin",
+    "HistoricalAMS",
+    "PersistentHeavyHitters",
+    "HistoricalHeavyHitters",
+    "PersistentQuantiles",
+    "PersistentWavelets",
+    "SlidingWindowView",
+    "SketchStore",
+    "StreamSpec",
+    "ShardedPersistentSketch",
+    "JoinEstimate",
+    "make_ams_pair",
+    "window_join_size",
+    "Estimate",
+    "countmin_point",
+    "ams_point",
+    "ExponentialHistogram",
+    "CountMinSketch",
+    "AMSSketch",
+    "ExactFrequency",
+    "Stream",
+    "Update",
+    "GroundTruth",
+    "zipf_stream",
+    "uniform_stream",
+    "client_id_stream",
+    "object_id_stream",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Related-work baselines the paper positions itself against.
+
+Section 1.1 contrasts persistent sketches with the *sliding-window*
+model [3, 6, 13]: dedicated sliding-window summaries answer only the
+current window position and forget past ones.  The canonical such
+structure is the exponential histogram of Datar, Gionis, Indyk and
+Motwani [13], implemented here so the capability gap (and the space
+comparison) can be demonstrated rather than asserted — see
+``tests/test_baselines.py``.
+"""
+
+from repro.baselines.exponential_histogram import ExponentialHistogram
+
+__all__ = ["ExponentialHistogram"]

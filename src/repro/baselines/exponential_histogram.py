@@ -1,0 +1,106 @@
+"""The exponential histogram of Datar, Gionis, Indyk & Motwani [13].
+
+Counts events in a sliding window of the last ``window`` time units with
+relative error at most ``eps``, in ``O((1/eps) log^2 W)`` bits.  Events
+are grouped into buckets whose sizes are powers of two; at most
+``k + 1 = ceil(1/eps) + 1`` buckets of each size are kept, merging the
+two oldest of a size when the budget is exceeded; buckets whose newest
+timestamp has left the window are dropped.  The window estimate counts
+full buckets plus half of the oldest (straddling) bucket.
+
+This is the paper's Section 1.1 foil: it answers only the *current*
+window position.  Once time moves on, past windows are unrecoverable —
+exactly the capability persistent sketches add.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+
+class ExponentialHistogram:
+    """Sliding-window event counter with ``eps`` relative error.
+
+    Parameters
+    ----------
+    window:
+        Window length ``W`` in time units.
+    eps:
+        Relative error bound; the per-size bucket budget is
+        ``ceil(1/eps)``.
+    """
+
+    def __init__(self, window: int, eps: float = 0.1):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0 < eps <= 1:
+            raise ValueError(f"eps must lie in (0, 1], got {eps}")
+        self.window = window
+        self.eps = eps
+        self._budget = math.ceil(1.0 / eps)
+        # Buckets as (newest_timestamp, size), newest first.
+        self._buckets: deque[tuple[int, int]] = deque()
+        self._now = 0
+
+    def add(self, time: int) -> None:
+        """Record one event at ``time`` (non-decreasing)."""
+        if time < self._now:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {time} < {self._now}"
+            )
+        self._now = time
+        self._buckets.appendleft((time, 1))
+        self._merge()
+        self._expire()
+
+    def advance(self, time: int) -> None:
+        """Advance the clock without an event (expires old buckets)."""
+        if time < self._now:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {time} < {self._now}"
+            )
+        self._now = time
+        self._expire()
+
+    def _merge(self) -> None:
+        # Scan newest-to-oldest; when a size has budget + 1 buckets,
+        # merge the two oldest of that size into one of double size.
+        buckets = list(self._buckets)
+        idx = 0
+        size = 1
+        while idx < len(buckets):
+            run_start = idx
+            while idx < len(buckets) and buckets[idx][1] == size:
+                idx += 1
+            run_length = idx - run_start
+            if run_length > self._budget:
+                # Merge the two oldest of this size (at the run's end).
+                second, first = buckets[idx - 2], buckets[idx - 1]
+                merged = (second[0], size * 2)
+                buckets[idx - 2 : idx] = [merged]
+                idx -= 1
+            size *= 2
+            # Skip to the next size's run start (idx already there).
+        self._buckets = deque(buckets)
+
+    def _expire(self) -> None:
+        cutoff = self._now - self.window
+        while self._buckets and self._buckets[-1][0] <= cutoff:
+            self._buckets.pop()
+
+    def estimate(self) -> float:
+        """Events in ``(now - window, now]``, within ``eps`` relative error."""
+        if not self._buckets:
+            return 0.0
+        total = sum(size for _ts, size in self._buckets)
+        oldest_size = self._buckets[-1][1]
+        return total - oldest_size / 2.0 + 0.5 if oldest_size > 1 else float(total)
+
+    def bucket_count(self) -> int:
+        """Live buckets (the structure's size, up to the log^2 factor)."""
+        return len(self._buckets)
+
+    def words(self) -> int:
+        """Space in machine words (timestamp + size per bucket)."""
+        return 2 * len(self._buckets)

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Three groups of functionality::
+
+    # Regenerate any table/figure of the paper (legacy shortcut: the
+    # experiment name may be passed directly as the first argument).
+    python -m repro.cli experiment fig3 --dataset Zipf_3
+    python -m repro.cli fig9
+    python -m repro.cli all
+
+    # Build a persistent sketch archive from a log file.
+    python -m repro.cli synth day46.log --length 100000
+    python -m repro.cli build day46.log urls.sketch.gz --attribute object_id
+    python -m repro.cli build clicks.csv clicks.sketch.gz --csv-column key
+
+    # Query an archive about any past window.
+    python -m repro.cli query urls.sketch.gz point --item 123 --s 0 --t 50000
+
+``REPRO_BENCH_SCALE`` (float) scales experiment workload sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval import experiments
+from repro.eval.harness import DATASETS
+
+#: Experiments keyed by CLI name; value = (runner, needs_dataset).
+EXPERIMENTS = {
+    "table1": (experiments.run_table1, False),
+    "fig1": (experiments.run_fig1, False),
+    "fig2": (experiments.run_fig2, False),
+    "fig3": (experiments.run_fig3, True),
+    "fig4": (experiments.run_fig4, True),
+    "fig5": (experiments.run_fig5, True),
+    "fig6": (experiments.run_fig6, True),
+    "fig7": (experiments.run_fig7, True),
+    "fig8": (experiments.run_fig8, True),
+    "fig9": (experiments.run_fig9, True),
+    "fig10": (experiments.run_fig10, True),
+}
+
+QUERY_KINDS = ("point", "self_join", "heavy_hitters", "mass")
+
+
+def _run_experiments(name: str, dataset: str | None) -> int:
+    names = sorted(EXPERIMENTS) if name == "all" else [name]
+    for experiment in names:
+        runner, needs_dataset = EXPERIMENTS[experiment]
+        if needs_dataset:
+            datasets = [dataset] if dataset else sorted(DATASETS)
+            for ds in datasets:
+                runner(ds)
+        else:
+            runner()
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.streams.logs import synthesize_worldcup_log, write_worldcup_log
+
+    records = synthesize_worldcup_log(args.length, seed=args.seed)
+    count = write_worldcup_log(records, args.log)
+    print(f"wrote {count} records to {args.log}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.core.persistent_ams import PersistentAMS
+    from repro.core.persistent_countmin import PersistentCountMin
+    from repro.io import save
+    from repro.streams.logs import (
+        attribute_stream,
+        read_csv_stream,
+        read_worldcup_log,
+    )
+
+    if args.csv_column:
+        stream = read_csv_stream(
+            args.log, item_column=args.csv_column, time_column=args.csv_time
+        )
+    else:
+        stream = attribute_stream(read_worldcup_log(args.log), args.attribute)
+    if args.kind == "countmin":
+        sketch = PersistentCountMin(
+            width=args.width, depth=args.depth, delta=args.delta,
+            seed=args.seed,
+        )
+    else:
+        sketch = PersistentAMS(
+            width=args.width, depth=args.depth, delta=args.delta,
+            seed=args.seed,
+        )
+    sketch.ingest(stream)
+    if args.kind == "countmin":
+        sketch.finalize()
+    save(sketch, args.archive)
+    print(
+        f"ingested {len(stream)} updates; persistence "
+        f"{sketch.persistence_words()} words -> {args.archive}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.io import load
+
+    sketch = load(args.archive)
+    t = args.t if args.t is not None else sketch.now
+    if args.kind == "point":
+        if args.item is None:
+            raise SystemExit("point queries require --item")
+        value = sketch.point(args.item, args.s, t)
+        print(f"f_{args.item}({args.s}, {t}] ~= {value:.1f}")
+    elif args.kind == "self_join":
+        value = sketch.self_join_size(args.s, t)
+        print(f"F2({args.s}, {t}] ~= {value:.1f}")
+    elif args.kind == "heavy_hitters":
+        found = sketch.heavy_hitters(args.phi, args.s, t)
+        for item, estimate in sorted(
+            found.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            print(f"{item}\t{estimate:.1f}")
+    elif args.kind == "mass":
+        value = sketch.window_mass(args.s, t)
+        print(f"||f({args.s}, {t}]||_1 ~= {value:.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Persistent Data Sketching (SIGMOD 2015) reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser(
+        "experiment", help="regenerate a table/figure of the paper"
+    )
+    exp.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    exp.add_argument("--dataset", choices=sorted(DATASETS), default=None)
+
+    synth = sub.add_parser(
+        "synth", help="generate a synthetic WorldCup-format binary log"
+    )
+    synth.add_argument("log", help="output log path")
+    synth.add_argument("--length", type=int, default=100_000)
+    synth.add_argument("--seed", type=int, default=0)
+
+    build = sub.add_parser(
+        "build", help="ingest a log into a persistent sketch archive"
+    )
+    build.add_argument("log", help="input log (binary WorldCup or CSV)")
+    build.add_argument("archive", help="output archive (.json or .json.gz)")
+    build.add_argument(
+        "--attribute",
+        default="object_id",
+        help="WorldCup attribute to stream (binary logs)",
+    )
+    build.add_argument(
+        "--csv-column", default=None, help="treat the log as CSV; item column"
+    )
+    build.add_argument("--csv-time", default=None, help="CSV time column")
+    build.add_argument(
+        "--kind", choices=("countmin", "ams"), default="countmin"
+    )
+    build.add_argument("--width", type=int, default=2048)
+    build.add_argument("--depth", type=int, default=5)
+    build.add_argument("--delta", type=float, default=50)
+    build.add_argument("--seed", type=int, default=0)
+
+    query = sub.add_parser("query", help="query a sketch archive")
+    query.add_argument("archive")
+    query.add_argument("kind", choices=QUERY_KINDS)
+    query.add_argument("--item", type=int, default=None)
+    query.add_argument("--s", type=float, default=0)
+    query.add_argument("--t", type=float, default=None)
+    query.add_argument("--phi", type=float, default=0.01)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy shortcut: `repro fig3 --dataset X` without the subcommand.
+    if argv and argv[0] in set(EXPERIMENTS) | {"all"}:
+        argv = ["experiment"] + argv
+    args = build_parser().parse_args(argv)
+    if args.command == "experiment":
+        return _run_experiments(args.experiment, args.dataset)
+    if args.command == "synth":
+        return _cmd_synth(args)
+    if args.command == "build":
+        return _cmd_build(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    raise SystemExit(2)  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's contribution: persistent (multiversion) sketches.
+
+* :class:`PersistentCountMin` — PLA-based persistent Count-Min ("PLA").
+* :class:`PersistentAMS` — sampling-based persistent AMS ("Sample").
+* :class:`PWCCountMin`, :class:`PWCAMS` — the Section 2 baselines.
+* :class:`HistoricalCountMin`, :class:`HistoricalAMS` — the epoch-adaptive
+  specializations for historical (s = 0) queries of Section 5.
+* :class:`PersistentHeavyHitters` — dyadic heavy-hitter structure.
+* :func:`make_ams_pair`, :func:`window_join_size` — join estimation
+  across two streams.
+"""
+
+from repro.core.base import PersistentSketch
+from repro.core.heavy_hitters import PersistentHeavyHitters
+from repro.core.historical_ams import HistoricalAMS
+from repro.core.historical_countmin import HistoricalCountMin
+from repro.core.historical_heavy_hitters import HistoricalHeavyHitters
+from repro.core.join import JoinEstimate, make_ams_pair, window_join_size
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin, PWCCountMin
+from repro.core.pwc_ams import PWCAMS
+from repro.core.quantiles import PersistentQuantiles
+from repro.core.sliding import SlidingWindowView
+from repro.core.wavelets import HaarCoefficient, PersistentWavelets
+
+__all__ = [
+    "PersistentSketch",
+    "PersistentCountMin",
+    "PWCCountMin",
+    "PersistentAMS",
+    "PWCAMS",
+    "HistoricalCountMin",
+    "HistoricalAMS",
+    "PersistentHeavyHitters",
+    "HistoricalHeavyHitters",
+    "PersistentQuantiles",
+    "PersistentWavelets",
+    "HaarCoefficient",
+    "SlidingWindowView",
+    "JoinEstimate",
+    "make_ams_pair",
+    "window_join_size",
+]

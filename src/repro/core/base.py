@@ -1,0 +1,78 @@
+"""Shared machinery for the persistent sketches.
+
+All persistent sketches ingest a stream of ``(item, count, time)`` updates
+with strictly increasing integer timestamps (the discrete time model of
+Section 1.2: update ``e_t`` arrives at time ``t``; ticks may be skipped).
+When the caller does not supply timestamps, updates are assigned
+consecutive ticks starting at 1.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.streams.model import Stream
+
+
+class PersistentSketch(ABC):
+    """Base class: clock management and bulk ingest."""
+
+    def __init__(self) -> None:
+        self._clock = 0
+
+    @property
+    def now(self) -> int:
+        """Timestamp of the most recent update (0 before any update)."""
+        return self._clock
+
+    def update(self, item: int, count: int = 1, time: int | None = None) -> None:
+        """Ingest one update.
+
+        Parameters
+        ----------
+        item:
+            Element identifier (any non-negative integer).
+        count:
+            Frequency change; ``+1`` in the cash-register model, ``+/-1``
+            in the turnstile model.
+        time:
+            Integer timestamp, strictly greater than all previous ones.
+            Auto-incremented when omitted.
+        """
+        if time is None:
+            time = self._clock + 1
+        elif time <= self._clock:
+            raise ValueError(
+                f"timestamps must be strictly increasing: {time} <= "
+                f"{self._clock}"
+            )
+        self._clock = time
+        self._ingest(item, count, time)
+
+    def ingest(self, stream: Stream) -> None:
+        """Ingest a whole :class:`~repro.streams.model.Stream`."""
+        for t, i, c in zip(stream.times, stream.items, stream.counts):
+            self.update(int(i), int(c), int(t))
+
+    @abstractmethod
+    def _ingest(self, item: int, count: int, time: int) -> None:
+        """Apply one clock-validated update."""
+
+    @abstractmethod
+    def point(self, item: int, s: float = 0, t: float | None = None) -> float:
+        """Estimate ``f_item(s, t]``; ``t`` defaults to :attr:`now`."""
+
+    @abstractmethod
+    def persistence_words(self) -> int:
+        """Extra space (machine words) used to make the sketch persistent.
+
+        This is the quantity Section 6.2 plots: the recorded histories,
+        excluding the ephemeral counter array.
+        """
+
+    def _resolve_window(self, s: float, t: float | None) -> tuple[float, float]:
+        if t is None:
+            t = self._clock
+        if s > t:
+            raise ValueError(f"empty window: s={s} > t={t}")
+        return s, t

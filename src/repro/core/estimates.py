@@ -1,0 +1,87 @@
+"""Estimates that carry their a-priori error bounds.
+
+The theorems give every query a computable error bound; exposing it next
+to the estimate lets downstream code make principled decisions ("is this
+difference significant?") instead of treating sketch output as exact.
+In the cash-register model with dense ticks the window mass
+``||f_{s,t}||_1`` is simply the window length, so the Count-Min bound is
+available for free; callers with sparser streams pass the mass
+explicitly (e.g. from
+:meth:`~repro.core.heavy_hitters.PersistentHeavyHitters.window_mass`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin
+
+
+@dataclass(frozen=True, slots=True)
+class Estimate:
+    """A point estimate with its high-probability error bound."""
+
+    value: float
+    error_bound: float
+    window: tuple[float, float]
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """The (value - bound, value + bound) interval."""
+        return self.value - self.error_bound, self.value + self.error_bound
+
+    def compatible_with(self, other: "Estimate") -> bool:
+        """True when the two estimates' intervals overlap — i.e. the
+        observed difference is within the combined error budgets."""
+        lo_a, hi_a = self.interval
+        lo_b, hi_b = other.interval
+        return lo_a <= hi_b and lo_b <= hi_a
+
+
+def countmin_point(
+    sketch: PersistentCountMin,
+    item: int,
+    s: float = 0,
+    t: float | None = None,
+    window_mass: float | None = None,
+) -> Estimate:
+    """Point estimate with the Theorem 3.1 bound
+    ``eps * ||f_{s,t}||_1 + 2 * Delta``.
+
+    ``window_mass`` defaults to the window length (exact for dense
+    cash-register ticks, an upper bound whenever ticks may be skipped
+    but never carry more than one arrival).
+    """
+    if t is None:
+        t = sketch.now
+    value = sketch.point(item, s, t)
+    mass = (t - s) if window_mass is None else window_mass
+    eps = math.e / sketch.width
+    bound = eps * mass + 2 * sketch.delta
+    return Estimate(value=value, error_bound=bound, window=(s, t))
+
+
+def ams_point(
+    sketch: PersistentAMS,
+    item: int,
+    s: float = 0,
+    t: float | None = None,
+    window_l2: float | None = None,
+) -> Estimate:
+    """Point estimate with the Theorem 4.1 bound
+    ``eps * ||f_{s,t}||_2 + 2 * Delta``.
+
+    ``window_l2`` defaults to ``sqrt(window length)`` — the L2 norm's
+    minimum over cash-register streams of that mass, so the default is
+    a *lower* bound on the true norm; pass a measured value (e.g. the
+    square root of a self-join estimate) for a faithful bound.
+    """
+    if t is None:
+        t = sketch.now
+    value = sketch.point(item, s, t)
+    l2 = math.sqrt(max(t - s, 0)) if window_l2 is None else window_l2
+    eps = 2.0 / math.sqrt(sketch.width)
+    bound = eps * l2 + 2 * sketch.delta
+    return Estimate(value=value, error_bound=bound, window=(s, t))

@@ -1,0 +1,170 @@
+"""Epoch-adaptive persistent Count-Min sketch for historical queries
+(Section 5.1).
+
+For queries whose window always starts at ``s = 0``, the additive error
+``Delta`` can be tied to the current stream mass: the stream is divided
+into epochs within which ``||f_t||_1`` stays within a factor of 2 (tracked
+exactly by a single running counter), and within epoch ``i`` every counter
+is tracked by a fresh PLA run with ``Delta = eps * ||f_{t_i}||_1``.  A
+query at time ``t`` is served by the epoch containing ``t``; Theorem 5.1
+gives error ``eps * ||f_t||_1`` — identical to the ephemeral sketch — and
+Theorem 5.3 bounds the expected size by ``O(1/eps^2 * log 1/delta)`` in
+the random stream model.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from statistics import median
+
+from repro.core.base import PersistentSketch
+from repro.hashing import BucketHashFamily, HashConfig
+from repro.hashing.families import IdentityHashFamily
+from repro.persistence.epochs import EpochManager
+from repro.persistence.tracker import PLATracker
+
+
+class _EpochedCounter:
+    """Per-epoch PLA runs of one counter, created lazily on first touch."""
+
+    __slots__ = ("epoch_ids", "trackers")
+
+    def __init__(self) -> None:
+        self.epoch_ids: list[int] = []
+        self.trackers: list[PLATracker] = []
+
+    def tracker_for(
+        self, epoch_index: int, delta: float, start_value: float
+    ) -> PLATracker:
+        """The open tracker for ``epoch_index``, creating it if needed."""
+        if not self.epoch_ids or self.epoch_ids[-1] != epoch_index:
+            if self.trackers:
+                # The closed epoch's open run becomes archived state: it
+                # must stay queryable, so it is flushed into a segment.
+                self.trackers[-1].finalize()
+            self.epoch_ids.append(epoch_index)
+            self.trackers.append(
+                PLATracker(delta=delta, initial_value=start_value)
+            )
+        return self.trackers[-1]
+
+    def value_at(self, epoch_index: int, t: float) -> float:
+        """Counter estimate at time ``t`` inside epoch ``epoch_index``.
+
+        Falls back to the most recent earlier epoch when the counter was
+        not touched in the queried epoch (its value is frozen there).
+        """
+        idx = bisect_right(self.epoch_ids, epoch_index) - 1
+        if idx < 0:
+            return 0.0
+        return self.trackers[idx].value_at(t)
+
+    def words(self) -> int:
+        return sum(tracker.words() for tracker in self.trackers)
+
+
+class HistoricalCountMin(PersistentSketch):
+    """Persistent Count-Min specialized to historical (s = 0) queries.
+
+    Parameters
+    ----------
+    width, depth:
+        Sketch shape, ``w = O(1/eps)`` and ``d = O(log 1/delta)``.
+    eps:
+        Relative error target; the per-epoch PLA error is
+        ``eps * ||f||_1`` at the epoch start.
+    """
+
+    name = "PLA_historical"
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        eps: float,
+        seed: int = 0,
+        hashes: BucketHashFamily | IdentityHashFamily | None = None,
+    ):
+        super().__init__()
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must lie in (0, 1), got {eps}")
+        self.width = width
+        self.depth = depth
+        self.eps = eps
+        self.seed = seed
+        self.hashes = hashes or BucketHashFamily(
+            HashConfig(width=width, depth=depth, seed=seed)
+        )
+        if self.hashes.width != width or self.hashes.depth != depth:
+            raise ValueError("hash family shape does not match sketch shape")
+        self._epochs = EpochManager(factor=2.0)
+        self._delta = eps  # Delta of the open epoch
+        self._counters: list[list[int]] = [
+            [0] * width for _ in range(depth)
+        ]
+        self._tracked: list[dict[int, _EpochedCounter]] = [
+            {} for _ in range(depth)
+        ]
+        self.total = 0
+
+    def _ingest(self, item: int, count: int, time: int) -> None:
+        self.total += count
+        epoch = self._epochs.observe(time, max(abs(self.total), 1))
+        if epoch is not None:
+            self._delta = max(self.eps * epoch.start_norm, self.eps)
+        current = self._epochs.current
+        assert current is not None
+        cols = self.hashes.buckets(item)
+        for row in range(self.depth):
+            col = cols[row]
+            counters = self._counters[row]
+            before = counters[col]
+            value = before + count
+            counters[col] = value
+            tracked = self._tracked[row]
+            counter = tracked.get(col)
+            if counter is None:
+                counter = _EpochedCounter()
+                tracked[col] = counter
+            tracker = counter.tracker_for(
+                current.index, self._delta, float(before)
+            )
+            tracker.feed(time, value)
+
+    def point(self, item: int, s: float = 0, t: float | None = None) -> float:
+        """Estimate ``f_item(0, t]`` (Theorem 5.1: error ``eps * ||f_t||_1``)."""
+        if s != 0:
+            raise ValueError(
+                "HistoricalCountMin answers historical queries only (s = 0); "
+                "use PersistentCountMin for general windows"
+            )
+        s, t = self._resolve_window(s, t)
+        if len(self._epochs) == 0:
+            return 0.0
+        epoch = self._epochs.epoch_at(t)
+        cols = self.hashes.buckets(item)
+        return median(
+            self._counter_at(row, cols[row], epoch.index, t)
+            for row in range(self.depth)
+        )
+
+    def _counter_at(self, row: int, col: int, epoch_index: int, t: float) -> float:
+        counter = self._tracked[row].get(col)
+        if counter is None:
+            return 0.0
+        return counter.value_at(epoch_index, t)
+
+    def epoch_count(self) -> int:
+        """Number of epochs created so far."""
+        return len(self._epochs)
+
+    def persistence_words(self) -> int:
+        return sum(
+            counter.words()
+            for tracked in self._tracked
+            for counter in tracked.values()
+        )
+
+    def ephemeral_words(self) -> int:
+        """Size of the underlying counter array."""
+        return self.width * self.depth

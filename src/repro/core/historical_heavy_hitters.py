@@ -1,0 +1,175 @@
+"""Historical (s = 0) heavy hitters with purely relative error
+(Theorem 5.2).
+
+The dyadic decomposition of Section 3.2 combined with the epoch-adaptive
+Count-Min sketches of Section 5.1: one
+:class:`~repro.core.historical_countmin.HistoricalCountMin` per dyadic
+level, thresholded against the exact running mass ``||f_t||_1`` (a single
+counter in the cash-register model).  Every element with
+``f_i(t) >= (phi + eps) ||f_t||_1`` is reported with high probability and
+nothing below ``phi ||f_t||_1`` — with **no additive term**, unlike the
+general-window structure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.core.base import PersistentSketch
+from repro.core.historical_countmin import HistoricalCountMin
+from repro.hashing.families import IdentityHashFamily
+from repro.pla.piecewise_constant import PiecewiseConstantFunction
+
+
+class HistoricalHeavyHitters(PersistentSketch):
+    """Dyadic stack of epoch-adaptive Count-Min sketches (s = 0 queries).
+
+    Parameters
+    ----------
+    universe:
+        Upper bound on element identifiers.
+    width, depth:
+        Per-level sketch shape; levels with at most ``width`` ranges use
+        exact single-row counting (see
+        :class:`~repro.core.heavy_hitters.PersistentHeavyHitters`).
+    eps:
+        Relative error target of the per-level sketches.
+    sketch_factory:
+        ``(width, depth, eps, seed, hashes=None) -> sketch`` building each
+        level; defaults to :class:`HistoricalCountMin`.
+    """
+
+    name = "PLA_historical_HH"
+
+    def __init__(
+        self,
+        universe: int,
+        width: int,
+        depth: int,
+        eps: float,
+        seed: int = 0,
+        sketch_factory: Callable[..., PersistentSketch] | None = None,
+    ):
+        super().__init__()
+        if universe < 2:
+            raise ValueError(f"universe must be >= 2, got {universe}")
+        self.universe = universe
+        self.eps = eps
+        self.levels = (universe - 1).bit_length()
+        factory = sketch_factory or (
+            lambda w, d, e, sd, hashes=None: HistoricalCountMin(
+                width=w, depth=d, eps=e, seed=sd, hashes=hashes
+            )
+        )
+        self._sketches: list[PersistentSketch] = []
+        for level in range(self.levels + 1):
+            ranges = max(1, math.ceil(universe / (1 << level)))
+            if ranges <= width:
+                self._sketches.append(
+                    factory(
+                        ranges,
+                        1,
+                        eps,
+                        seed + level,
+                        hashes=IdentityHashFamily(ranges, 1),
+                    )
+                )
+            else:
+                self._sketches.append(factory(width, depth, eps, seed + level))
+        # Exact running mass ||f_t||_1, tracked piecewise-constant at
+        # relative resolution eps (so the threshold inherits only a
+        # relative error).
+        self._mass_total = 0
+        self._mass_records = PiecewiseConstantFunction()
+        self._next_mass_record = 1.0
+
+    def _ingest(self, item: int, count: int, time: int) -> None:
+        if not 0 <= item < self.universe:
+            raise ValueError(
+                f"item {item} outside universe [0, {self.universe})"
+            )
+        for level, sketch in enumerate(self._sketches):
+            sketch.update(item >> level, count, time)
+        self._mass_total += count
+        if abs(self._mass_total) >= self._next_mass_record:
+            self._mass_records.append(time, float(self._mass_total))
+            self._next_mass_record = max(
+                abs(self._mass_total) * (1.0 + self.eps),
+                self._next_mass_record + 1.0,
+            )
+
+    def point(self, item: int, s: float = 0, t: float | None = None) -> float:
+        """Historical point estimate from the level-0 sketch (s = 0)."""
+        if s != 0:
+            raise ValueError(
+                "HistoricalHeavyHitters answers s = 0 queries only; use "
+                "PersistentHeavyHitters for general windows"
+            )
+        s, t = self._resolve_window(s, t)
+        return self._sketches[0].point(item, 0, t)
+
+    def mass(self, t: float | None = None) -> float:
+        """Estimate of ``||f_t||_1`` within a ``(1 + eps)`` factor."""
+        _, t = self._resolve_window(0, t)
+        return self._mass_records.value_at(t)
+
+    def heavy_hitters(
+        self,
+        phi: float,
+        t: float | None = None,
+        max_candidates: int | None = None,
+    ) -> dict[int, float]:
+        """Elements with estimated ``f_i(t) >= phi * ||f_t||_1``.
+
+        Theorem 5.2: elements with ``f_i(t) >= (phi + eps) ||f_t||_1``
+        are returned w.h.p.; elements below ``phi ||f_t||_1`` w.p. at
+        most delta.
+        """
+        if not 0 < phi < 1:
+            raise ValueError(f"phi must lie in (0, 1), got {phi}")
+        _, t = self._resolve_window(0, t)
+        threshold = phi * self.mass(t)
+        cap = max_candidates or max(16, math.ceil(4.0 / phi))
+
+        candidates = [0]
+        for level in range(self.levels, 0, -1):
+            sketch = self._sketches[level - 1]
+            scored: list[tuple[float, int]] = []
+            for parent in candidates:
+                for child in (2 * parent, 2 * parent + 1):
+                    if (child << (level - 1)) >= self.universe:
+                        continue
+                    estimate = sketch.point(child, 0, t)
+                    if estimate >= threshold:
+                        scored.append((estimate, child))
+            if len(scored) > cap:
+                scored.sort(reverse=True)
+                scored = scored[:cap]
+            candidates = [child for _, child in scored]
+            if not candidates:
+                return {}
+        return {
+            item: self._sketches[0].point(item, 0, t) for item in candidates
+        }
+
+    def top_k(self, k: int, t: float | None = None) -> list[tuple[int, float]]:
+        """The ~``k`` most frequent items as of time ``t``."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        _, t = self._resolve_window(0, t)
+        phi = 1.0 / (2.0 * k)
+        found: dict[int, float] = {}
+        while True:
+            found = self.heavy_hitters(phi, t, max_candidates=8 * k)
+            if len(found) >= k or phi < 1e-5:
+                break
+            phi /= 2.0
+        ranked = sorted(found.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:k]
+
+    def persistence_words(self) -> int:
+        return (
+            sum(sketch.persistence_words() for sketch in self._sketches)
+            + self._mass_records.words()
+        )

@@ -1,0 +1,85 @@
+"""Join-size estimation helpers across two streams (Section 4.1).
+
+Two persistent AMS sketches can estimate the join size of their streams
+over any historical window only if they share hash functions; these
+helpers construct correctly paired sketches and expose the window-join
+estimate together with the Theorem 4.2 error bound for it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.persistent_ams import PersistentAMS
+
+
+def make_ams_pair(
+    width: int,
+    depth: int,
+    delta_f: float,
+    delta_g: float | None = None,
+    seed: int = 0,
+    independent_copies: int = 1,
+) -> tuple[PersistentAMS, PersistentAMS]:
+    """Two persistent AMS sketches sharing hashes but not samples.
+
+    ``delta_g`` defaults to ``delta_f``; per Theorem 4.2 the two streams
+    may use different additive error parameters, but the ephemeral shape
+    and hash seed must match.
+    """
+    sketch_f = PersistentAMS(
+        width=width,
+        depth=depth,
+        delta=delta_f,
+        seed=seed,
+        independent_copies=independent_copies,
+        sampling_seed=seed * 1_000_003 + 1,
+    )
+    sketch_g = PersistentAMS(
+        width=width,
+        depth=depth,
+        delta=delta_g if delta_g is not None else delta_f,
+        seed=seed,
+        independent_copies=independent_copies,
+        sampling_seed=seed * 1_000_003 + 2,
+    )
+    return sketch_f, sketch_g
+
+
+@dataclass(frozen=True, slots=True)
+class JoinEstimate:
+    """A window join-size estimate with its Theorem 4.2 error bound."""
+
+    value: float
+    error_bound: float
+    window: tuple[float, float]
+
+
+def window_join_size(
+    sketch_f: PersistentAMS,
+    sketch_g: PersistentAMS,
+    s: float = 0,
+    t: float | None = None,
+    l2_f: float | None = None,
+    l2_g: float | None = None,
+) -> JoinEstimate:
+    """Estimate ``<f_{s,t}, g_{s,t}>`` with its a-priori error bound.
+
+    The bound ``E = eps * sqrt((||f||_2^2 + (Delta_f/eps)^2) *
+    (||g||_2^2 + (Delta_g/eps)^2))`` needs the true window L2 norms; when
+    they are unknown (the usual case) pass ``None`` and the bound is
+    reported as ``nan`` while the estimate itself is still computed.
+    """
+    value = sketch_f.join_size(sketch_g, s, t)
+    if t is None:
+        t = sketch_f.now
+    eps = 1.0 / math.sqrt(sketch_f.width)
+    if l2_f is None or l2_g is None:
+        bound = float("nan")
+    else:
+        bound = eps * math.sqrt(
+            (l2_f**2 + (sketch_f.delta / eps) ** 2)
+            * (l2_g**2 + (sketch_g.delta / eps) ** 2)
+        )
+    return JoinEstimate(value=value, error_bound=bound, window=(s, t))

@@ -1,0 +1,190 @@
+"""The PLA-based persistent Count-Min sketch (Section 3) and its
+piecewise-constant baseline (Section 2).
+
+Every counter ``C[j][k]`` of an ephemeral Count-Min sketch is tracked over
+time by a per-counter history compressor (a
+:class:`~repro.persistence.tracker.CounterTracker`): O'Rourke's online PLA
+with additive error ``Delta`` for the paper's technique, or the
+record-on-deviation piecewise-constant recorder for the baseline.
+Trackers are created lazily, on a counter's first update, so untouched
+counters cost nothing.
+
+A historical-window point query ``(i, (s, t])`` reconstructs
+``C_t[j][h_j(i)] - C_s[j][h_j(i)]`` from the histories and returns the
+median over rows (not the minimum: the reconstruction error is two-sided).
+Theorem 3.1 bounds the error by ``eps * ||f_{s,t}||_1 + Delta`` with
+probability ``1 - delta``.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+from typing import Callable
+
+from repro.core.base import PersistentSketch
+from repro.hashing import BucketHashFamily, HashConfig
+from repro.hashing.families import IdentityHashFamily
+from repro.persistence.tracker import CounterTracker, PLATracker, PWCTracker
+
+
+class PersistentCountMin(PersistentSketch):
+    """Persistent Count-Min sketch, generic in the history compressor.
+
+    Parameters
+    ----------
+    width, depth:
+        Shape of the underlying Count-Min sketch (``w = O(1/eps)``,
+        ``d = O(log 1/delta)``).
+    delta:
+        Additive persistence error ``Delta`` of Theorems 3.1/3.2.
+    seed:
+        Hash seed.
+    tracker_factory:
+        Callable ``(delta, initial_value) -> CounterTracker``; defaults to
+        the PLA tracker.  :class:`PWCCountMin` plugs in the
+        piecewise-constant recorder instead.
+    """
+
+    #: Display name used by the evaluation harness (paper's legend).
+    name = "PLA"
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        delta: float,
+        seed: int = 0,
+        tracker_factory: Callable[[float, float], CounterTracker] | None = None,
+        hashes: BucketHashFamily | IdentityHashFamily | None = None,
+    ):
+        super().__init__()
+        self.width = width
+        self.depth = depth
+        self.delta = float(delta)
+        self.seed = seed
+        self.hashes = hashes or BucketHashFamily(
+            HashConfig(width=width, depth=depth, seed=seed)
+        )
+        if self.hashes.width != width or self.hashes.depth != depth:
+            raise ValueError("hash family shape does not match sketch shape")
+        factory = tracker_factory or (
+            lambda d, v0: PLATracker(delta=d, initial_value=v0)
+        )
+        self._tracker_factory = factory
+        # Current counter values and lazily created per-counter trackers.
+        self._counters: list[list[int]] = [
+            [0] * width for _ in range(depth)
+        ]
+        self._trackers: list[dict[int, CounterTracker]] = [
+            {} for _ in range(depth)
+        ]
+        self.total = 0
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def _ingest(self, item: int, count: int, time: int) -> None:
+        cols = self.hashes.buckets(item)
+        for row in range(self.depth):
+            col = cols[row]
+            counters = self._counters[row]
+            value = counters[col] + count
+            counters[col] = value
+            trackers = self._trackers[row]
+            tracker = trackers.get(col)
+            if tracker is None:
+                tracker = self._tracker_factory(self.delta, 0.0)
+                trackers[col] = tracker
+            tracker.feed(time, value)
+        self.total += count
+
+    def finalize(self) -> None:
+        """Flush open PLA runs.  Optional: queries also work mid-stream."""
+        for trackers in self._trackers:
+            for tracker in trackers.values():
+                tracker.finalize()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def counter_at(self, row: int, col: int, t: float) -> float:
+        """Approximate value of counter ``C[row][col]`` at time ``t``."""
+        tracker = self._trackers[row].get(col)
+        if tracker is None:
+            return 0.0
+        return tracker.value_at(t)
+
+    def point(self, item: int, s: float = 0, t: float | None = None) -> float:
+        """Estimate ``f_item(s, t]`` (Theorem 3.1 error bound)."""
+        s, t = self._resolve_window(s, t)
+        cols = self.hashes.buckets(item)
+        estimates = []
+        for row in range(self.depth):
+            high = self.counter_at(row, cols[row], t)
+            low = self.counter_at(row, cols[row], s) if s > 0 else 0.0
+            estimates.append(high - low)
+        return median(estimates)
+
+    def self_join_size(self, s: float = 0, t: float | None = None) -> float:
+        """Count-Min style self-join estimate over the window.
+
+        Included because the paper's Figures 9-10 evaluate
+        ``PWC_CountMin`` on self-join queries; as Section 4.2 explains,
+        the deterministic per-counter bias is amplified here, so no error
+        guarantee is claimed.  Uses the classic minimum over rows.
+        """
+        s, t = self._resolve_window(s, t)
+        best = None
+        for row in range(self.depth):
+            total = 0.0
+            trackers = self._trackers[row]
+            for col, tracker in trackers.items():
+                diff = tracker.value_at(t) - (
+                    tracker.value_at(s) if s > 0 else 0.0
+                )
+                total += diff * diff
+            if best is None or total < best:
+                best = total
+        return best or 0.0
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def persistence_words(self) -> int:
+        return sum(
+            tracker.words()
+            for trackers in self._trackers
+            for tracker in trackers.values()
+        )
+
+    def ephemeral_words(self) -> int:
+        """Size of the underlying counter array."""
+        return self.width * self.depth
+
+
+class PWCCountMin(PersistentCountMin):
+    """The ``PWC_CountMin`` baseline: piecewise-constant counter records."""
+
+    name = "PWC_CountMin"
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        delta: float,
+        seed: int = 0,
+        hashes: BucketHashFamily | IdentityHashFamily | None = None,
+    ):
+        super().__init__(
+            width=width,
+            depth=depth,
+            delta=delta,
+            seed=seed,
+            tracker_factory=lambda d, v0: PWCTracker(
+                delta=d, initial_value=v0
+            ),
+            hashes=hashes,
+        )

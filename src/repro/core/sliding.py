@@ -1,0 +1,68 @@
+"""Sliding-window queries as a special case of historical windows.
+
+Section 1.1 of the paper observes that the classic sliding-window model
+[3, 6, 13] is the historical-window special case ``s = t - w, t = now``
+— with the crucial difference that a persistent sketch keeps *all* past
+windows queryable, whereas dedicated sliding-window summaries forget
+them.  :class:`SlidingWindowView` packages that observation as an API:
+the familiar sliding-window query surface, backed by any persistent
+sketch, with past window positions still available.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.base import PersistentSketch
+
+
+class SlidingWindowView:
+    """Fixed-length sliding-window reads over a persistent sketch.
+
+    Parameters
+    ----------
+    sketch:
+        Any ingested :class:`~repro.core.base.PersistentSketch` (or the
+        dyadic heavy-hitter structure).
+    window:
+        Window length ``w`` in time units.
+    """
+
+    def __init__(self, sketch: PersistentSketch, window: int):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.sketch = sketch
+        self.window = window
+
+    def _bounds(self, at: float | None) -> tuple[float, float]:
+        t = self.sketch.now if at is None else at
+        return max(0, t - self.window), t
+
+    def point(self, item: int, at: float | None = None) -> float:
+        """Frequency of ``item`` in the window ending at ``at`` (default:
+        now).  Past window positions remain queryable — the capability
+        plain sliding-window sketches lack."""
+        s, t = self._bounds(at)
+        return self.sketch.point(item, s, t)
+
+    def heavy_hitters(self, phi: float, at: float | None = None) -> dict[int, float]:
+        """Window heavy hitters (requires a dyadic-structure backend)."""
+        s, t = self._bounds(at)
+        backend: Any = self.sketch
+        if not hasattr(backend, "heavy_hitters"):
+            raise TypeError(
+                "backend sketch does not support heavy hitters; wrap a "
+                "PersistentHeavyHitters structure"
+            )
+        return backend.heavy_hitters(phi, s, t)
+
+    def self_join_size(self, at: float | None = None) -> float:
+        """Window self-join size (requires a persistent AMS backend)."""
+        s, t = self._bounds(at)
+        backend: Any = self.sketch
+        if not hasattr(backend, "self_join_size"):
+            raise TypeError(
+                "backend sketch does not support self-join sizes; wrap a "
+                "PersistentAMS sketch"
+            )
+        return backend.self_join_size(s, t)

@@ -1,0 +1,38 @@
+"""Evaluation harness reproducing the paper's experimental study.
+
+The submodules map one-to-one onto the pieces of Section 6:
+
+* :mod:`repro.eval.metrics` — absolute/relative error, precision/recall.
+* :mod:`repro.eval.theory` — the closed-form curves the paper overlays
+  (``Sample_Theory``, worst-case space, error bounds).
+* :mod:`repro.eval.harness` — dataset registry, sketch builders with
+  process-level caching, compact-universe remapping, result records.
+* :mod:`repro.eval.experiments` — one runner per table/figure, each
+  printing the same series the paper plots.
+* :mod:`repro.eval.reporting` — plain-text table rendering that stays
+  visible under pytest's output capture.
+"""
+
+from repro.eval.harness import (
+    DATASETS,
+    DatasetSpec,
+    compact_items,
+    get_dataset,
+    get_truth,
+)
+from repro.eval.metrics import (
+    mean_absolute_error,
+    precision_recall,
+    relative_error,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "get_dataset",
+    "get_truth",
+    "compact_items",
+    "mean_absolute_error",
+    "relative_error",
+    "precision_recall",
+]

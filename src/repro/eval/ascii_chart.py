@@ -1,0 +1,91 @@
+"""Terminal charts for experiment series.
+
+The benchmark reports print the numeric series the paper plots; for a
+quick visual read in ``bench_output.txt`` this module renders the same
+series as an ASCII scatter chart (one mark per series), with optional
+log scaling on either axis — enough to eyeball the crossovers the paper
+describes without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Marks assigned to series, in declaration order.
+MARKS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    out = []
+    for value in values:
+        if log:
+            out.append(math.log10(value) if value > 0 else float("nan"))
+        else:
+            out.append(float(value))
+    return out
+
+
+def render_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render series as an ASCII scatter chart.
+
+    Points with non-positive coordinates on a log axis are dropped (the
+    paper's log-scale plots do the same implicitly).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if any(len(values) != len(x) for values in series.values()):
+        raise ValueError("every series must match the x vector's length")
+    xs = _transform(x, log_x)
+    transformed = {
+        name: _transform(values, log_y) for name, values in series.items()
+    }
+    finite_x = [v for v in xs if not math.isnan(v)]
+    finite_y = [
+        v
+        for values in transformed.values()
+        for v in values
+        if not math.isnan(v)
+    ]
+    if not finite_x or not finite_y:
+        return "(no plottable points)"
+    x_lo, x_hi = min(finite_x), max(finite_x)
+    y_lo, y_hi = min(finite_y), max(finite_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, values) in zip(MARKS, transformed.items()):
+        for x_value, y_value in zip(xs, values):
+            if math.isnan(x_value) or math.isnan(y_value):
+                continue
+            col = round((x_value - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y_value - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    def fmt(value: float, log: bool) -> str:
+        return f"1e{value:.1f}" if log else f"{value:g}"
+
+    lines = [f"{fmt(y_hi, log_y):>9} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + " |" + "".join(row))
+    lines.append(f"{fmt(y_lo, log_y):>9} |" + "".join(grid[-1]))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"{fmt(x_lo, log_x)}  {x_label} ... {fmt(x_hi, log_x)}"
+    )
+    legend = "   ".join(
+        f"{mark}={name}" for mark, name in zip(MARKS, series)
+    )
+    lines.append(" " * 10 + f"[{y_label}]  " + legend)
+    return "\n".join(lines)

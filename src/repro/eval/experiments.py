@@ -1,0 +1,589 @@
+"""One runner per table/figure of the paper's evaluation (Section 6).
+
+Every ``run_*`` function regenerates the corresponding exhibit: it sweeps
+the same parameter the paper sweeps, queries the same window, prints the
+same series (via :mod:`repro.eval.reporting`, so the rows land in
+``bench_output.txt``), archives a JSON copy under ``results/``, and
+returns the structured data for programmatic checks.
+
+Scales are reduced relative to the paper (see :mod:`repro.eval.harness`);
+the *shape* of every curve — who wins, by what factor, where the
+crossovers fall — is the reproduction target, per DESIGN.md section 4.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin, PWCCountMin
+from repro.core.pwc_ams import PWCAMS
+from repro.eval import harness, theory
+from repro.eval.ascii_chart import render_chart
+from repro.eval.metrics import mean_absolute_error, precision_recall, relative_error
+from repro.eval.reporting import emit, report
+from repro.sketch.countmin import CountMinSketch
+
+#: Delta sweep for the space/point/self-join figures (the paper sweeps
+#: 500..10000 over ~1M-7M updates; scaled to the default 60k updates).
+DELTAS_MAIN: tuple[float, ...] = (30, 60, 125, 250, 500)
+#: Delta sweep for the heavy-hitter figures (paper: 50..1000).
+DELTAS_HH: tuple[float, ...] = (4, 8, 16, 32, 64)
+#: Delta sweep for the update-time figure (paper: 10^2..10^4).
+DELTAS_TIME: tuple[float, ...] = (100, 1000, 10000)
+
+#: Heavy-hitter threshold (paper: phi = 0.0002 at 7M updates; scaled so
+#: each dataset retains a nontrivial heavy-hitter set).
+HH_PHI = 0.0015
+
+LENGTH_MAIN = harness.scaled(60_000)
+LENGTH_HH = harness.scaled(30_000)
+LENGTH_TIME = harness.scaled(100_000)
+LENGTH_STORY = harness.scaled(120_000)
+
+#: Sampling-seed repetitions for the randomized Sample curves (paper: 10).
+SAMPLE_REPS = 3
+
+
+# --------------------------------------------------------------------- #
+# Table 1 and Figure 1 — the Section 1.5 illustrating example
+# --------------------------------------------------------------------- #
+
+
+def run_table1(length: int = LENGTH_STORY) -> dict:
+    """Table 1: top-5 most requested URLs, actual vs estimated frequency.
+
+    An ephemeral Count-Min sketch over the ObjectID-like stream, queried
+    at the end of the stream.
+    """
+    stream = harness.get_dataset("ObjectID", length)
+    truth = harness.get_truth("ObjectID", length)
+    sketch = CountMinSketch(
+        width=harness.BENCH_WIDTH_CM,
+        depth=harness.BENCH_DEPTH,
+        seed=harness.BENCH_SEED,
+    )
+    for item in stream.items:
+        sketch.update(int(item))
+    rows = [
+        (f"url_{item}", actual, sketch.point(item))
+        for item, actual in truth.top_k(5)
+    ]
+    report(
+        "Table 1: top-5 URLs, actual count vs Count-Min estimate "
+        f"(m={length})",
+        ["URL", "actual count", "estimation"],
+        rows,
+        json_name="table1",
+    )
+    return {"rows": rows, "length": length}
+
+
+def run_fig1(length: int = LENGTH_STORY, delta: float = 60, days: int = 10) -> dict:
+    """Figure 1: frequency of the top-5 URLs over time.
+
+    Historical queries ``f_i(0, t]`` on a persistent Count-Min sketch at
+    ``days`` checkpoints, against the true running frequencies — all
+    reconstructed from the sketch alone, without touching the raw stream.
+    """
+    truth = harness.get_truth("ObjectID", length)
+    sketch = harness.build_pla_cm("ObjectID", length, delta)
+    top5 = [item for item, _ in truth.top_k(5)]
+    rows = []
+    for day in range(1, days + 1):
+        t = length * day // days
+        row: list = [day]
+        for item in top5:
+            row.append(truth.frequency(item, 0, t))
+            row.append(round(sketch.point(item, 0, t), 1))
+        rows.append(tuple(row))
+    headers = ["day"]
+    for rank, item in enumerate(top5, start=1):
+        headers += [f"top{rank}-T", f"top{rank}-A"]
+    report(
+        f"Figure 1: top-5 URL frequency over time (delta={delta}, "
+        f"m={length})",
+        headers,
+        rows,
+        json_name="fig1",
+    )
+    return {"rows": rows, "items": top5, "delta": delta}
+
+
+# --------------------------------------------------------------------- #
+# Figure 2 — update time
+# --------------------------------------------------------------------- #
+
+
+def _time_ingest(sketch, stream) -> float:
+    start = time.perf_counter()
+    sketch.ingest(stream)
+    return time.perf_counter() - start
+
+
+def run_fig2(
+    length: int = LENGTH_TIME, deltas: Sequence[float] = DELTAS_TIME
+) -> dict:
+    """Figure 2: processing time of the stream for each persistence scheme.
+
+    The paper's finding: Sample fastest, then the PWC baselines, PLA the
+    slowest (cost growing mildly with ``log Delta``), with every scheme
+    within a small constant factor of the ephemeral sketch.
+    """
+    stream = harness.get_dataset("Zipf_3", length)
+
+    start = time.perf_counter()
+    ephemeral = CountMinSketch(
+        width=harness.BENCH_WIDTH_CM,
+        depth=harness.BENCH_DEPTH,
+        seed=harness.BENCH_SEED,
+    )
+    for item in stream.items:
+        ephemeral.update(int(item))
+    ephemeral_time = time.perf_counter() - start
+
+    rows = []
+    for delta in deltas:
+        shape = dict(
+            width=harness.BENCH_WIDTH_CM,
+            depth=harness.BENCH_DEPTH,
+            seed=harness.BENCH_SEED,
+        )
+        sample_t = _time_ingest(
+            PersistentAMS(delta=delta, independent_copies=1, **shape), stream
+        )
+        pwc_ams_t = _time_ingest(PWCAMS(delta=delta, **shape), stream)
+        pla_t = _time_ingest(PersistentCountMin(delta=delta, **shape), stream)
+        pwc_cm_t = _time_ingest(PWCCountMin(delta=delta, **shape), stream)
+        rows.append(
+            (
+                delta,
+                round(sample_t, 3),
+                round(pwc_ams_t, 3),
+                round(pla_t, 3),
+                round(pwc_cm_t, 3),
+                round(ephemeral_time, 3),
+            )
+        )
+    report(
+        f"Figure 2: ingest time over {length} updates (seconds)",
+        ["delta", "Sample", "PWC_AMS", "PLA", "PWC_CountMin", "Ephemeral"],
+        rows,
+        json_name="fig2",
+    )
+    return {"rows": rows, "length": length}
+
+
+# --------------------------------------------------------------------- #
+# Figure 3 — sketch size vs Delta
+# --------------------------------------------------------------------- #
+
+
+def run_fig3(
+    dataset: str,
+    length: int = LENGTH_MAIN,
+    deltas: Sequence[float] = DELTAS_MAIN,
+) -> dict:
+    """Figure 3: persistence words vs ``Delta`` for the four schemes.
+
+    ``Sample_Theory`` is ``2 * copies * d * m / Delta`` — the expected
+    Sample size, independent of the data.
+    """
+    rows = []
+    for delta in deltas:
+        sample = harness.build_sample(dataset, length, delta)
+        pwc_ams = harness.build_pwc_ams(dataset, length, delta)
+        pla = harness.build_pla_cm(dataset, length, delta)
+        pwc_cm = harness.build_pwc_cm(dataset, length, delta)
+        rows.append(
+            (
+                delta,
+                sample.persistence_words(),
+                pwc_ams.persistence_words(),
+                pla.persistence_words(),
+                pwc_cm.persistence_words(),
+                round(
+                    theory.sample_theory_words(
+                        length, harness.BENCH_DEPTH, delta, copies=2
+                    )
+                ),
+            )
+        )
+    report(
+        f"Figure 3 ({dataset}): sketch size (words) vs delta (m={length})",
+        ["delta", "Sample", "PWC_AMS", "PLA", "PWC_CountMin", "Sample_Theory"],
+        rows,
+        json_name=f"fig3_{dataset}",
+    )
+    emit(
+        render_chart(
+            [row[0] for row in rows],
+            {
+                "Sample": [row[1] for row in rows],
+                "PWC_AMS": [row[2] for row in rows],
+                "PLA": [row[3] for row in rows],
+                "PWC_CM": [row[4] for row in rows],
+            },
+            log_x=True,
+            log_y=True,
+            x_label="delta",
+            y_label="words",
+        )
+    )
+    return {"dataset": dataset, "rows": rows, "length": length}
+
+
+# --------------------------------------------------------------------- #
+# Figures 4 & 5 — point-query accuracy
+# --------------------------------------------------------------------- #
+
+
+def _point_errors(
+    dataset: str, length: int, delta: float, top: int = 1000
+) -> dict[str, tuple[int, float]]:
+    """(words, mean absolute error) per scheme for top-``top`` point queries."""
+    truth = harness.get_truth(dataset, length)
+    s, t = harness.paper_window(length)
+    targets = truth.top_k(top, s, t)
+    items = [item for item, _ in targets]
+    actual = [float(freq) for _, freq in targets]
+    schemes = {
+        "PLA": harness.build_pla_cm(dataset, length, delta),
+        "PWC_CountMin": harness.build_pwc_cm(dataset, length, delta),
+        "PWC_AMS": harness.build_pwc_ams(dataset, length, delta),
+    }
+    out = {}
+    for name, sketch in schemes.items():
+        estimates = [sketch.point(item, s, t) for item in items]
+        out[name] = (
+            sketch.persistence_words(),
+            mean_absolute_error(estimates, actual),
+        )
+    return out
+
+
+def run_fig4(
+    dataset: str,
+    length: int = LENGTH_MAIN,
+    deltas: Sequence[float] = DELTAS_MAIN,
+) -> dict:
+    """Figure 4: mean absolute point-query error vs ``Delta``.
+
+    Window ``(0.2m, 0.6m]``, top-1000 items of the window (Section 6.3).
+    """
+    rows = []
+    for delta in deltas:
+        errors = _point_errors(dataset, length, delta)
+        rows.append(
+            (
+                delta,
+                round(errors["PWC_AMS"][1], 2),
+                round(errors["PLA"][1], 2),
+                round(errors["PWC_CountMin"][1], 2),
+            )
+        )
+    report(
+        f"Figure 4 ({dataset}): point-query absolute error vs delta "
+        f"(m={length})",
+        ["delta", "PWC_AMS", "PLA", "PWC_CountMin"],
+        rows,
+        json_name=f"fig4_{dataset}",
+    )
+    return {"dataset": dataset, "rows": rows}
+
+
+def run_fig5(
+    dataset: str,
+    length: int = LENGTH_MAIN,
+    deltas: Sequence[float] = DELTAS_MAIN,
+) -> dict:
+    """Figure 5: point-query error vs actual sketch size (the tradeoff)."""
+    rows = []
+    for delta in deltas:
+        errors = _point_errors(dataset, length, delta)
+        rows.append(
+            (
+                delta,
+                errors["PWC_AMS"][0],
+                round(errors["PWC_AMS"][1], 2),
+                errors["PLA"][0],
+                round(errors["PLA"][1], 2),
+                errors["PWC_CountMin"][0],
+                round(errors["PWC_CountMin"][1], 2),
+            )
+        )
+    report(
+        f"Figure 5 ({dataset}): point-query error vs sketch size (m={length})",
+        [
+            "delta",
+            "PWC_AMS words",
+            "PWC_AMS err",
+            "PLA words",
+            "PLA err",
+            "PWC_CM words",
+            "PWC_CM err",
+        ],
+        rows,
+        json_name=f"fig5_{dataset}",
+    )
+    return {"dataset": dataset, "rows": rows}
+
+
+# --------------------------------------------------------------------- #
+# Figures 6, 7 & 8 — heavy hitters
+# --------------------------------------------------------------------- #
+
+
+def _hh_quality(
+    dataset: str, length: int, delta: float, kind: str, phi: float
+) -> tuple[int, float, float]:
+    """(words, precision, recall) for one heavy-hitter structure."""
+    structure = harness.build_hh(dataset, length, delta, kind=kind)
+    truth = harness.get_compact_truth(dataset, length)
+    s, t = harness.paper_window(length)
+    found = structure.heavy_hitters(phi, s, t)
+    actual = truth.heavy_hitters(phi, s, t)
+    precision, recall = precision_recall(found.keys(), actual.keys())
+    return structure.persistence_words(), precision, recall
+
+
+def run_fig6(
+    dataset: str,
+    length: int = LENGTH_HH,
+    deltas: Sequence[float] = DELTAS_HH,
+) -> dict:
+    """Figure 6: heavy-hitter structure size vs ``Delta``.
+
+    The dyadic construction multiplies the point-query space by ~log n.
+    """
+    rows = []
+    for delta in deltas:
+        pla = harness.build_hh(dataset, length, delta, kind="pla")
+        pwc = harness.build_hh(dataset, length, delta, kind="pwc")
+        rows.append(
+            (delta, pla.persistence_words(), pwc.persistence_words())
+        )
+    report(
+        f"Figure 6 ({dataset}): heavy-hitter sketch size vs delta "
+        f"(m={length})",
+        ["delta", "PLA", "PWC_CountMin"],
+        rows,
+        json_name=f"fig6_{dataset}",
+    )
+    return {"dataset": dataset, "rows": rows}
+
+
+def run_fig7(
+    dataset: str,
+    length: int = LENGTH_HH,
+    deltas: Sequence[float] = DELTAS_HH,
+    phi: float = HH_PHI,
+) -> dict:
+    """Figure 7: heavy-hitter precision & recall vs ``Delta`` (phi fixed)."""
+    rows = []
+    for delta in deltas:
+        _, pla_p, pla_r = _hh_quality(dataset, length, delta, "pla", phi)
+        _, pwc_p, pwc_r = _hh_quality(dataset, length, delta, "pwc", phi)
+        rows.append(
+            (
+                delta,
+                round(pla_p, 3),
+                round(pla_r, 3),
+                round(pwc_p, 3),
+                round(pwc_r, 3),
+            )
+        )
+    report(
+        f"Figure 7 ({dataset}): heavy-hitter precision/recall vs delta "
+        f"(phi={phi}, m={length})",
+        ["delta", "PLA-prec", "PLA-rec", "PWC-prec", "PWC-rec"],
+        rows,
+        json_name=f"fig7_{dataset}",
+    )
+    return {"dataset": dataset, "rows": rows, "phi": phi}
+
+
+def run_fig8(
+    dataset: str,
+    length: int = LENGTH_HH,
+    deltas: Sequence[float] = DELTAS_HH,
+    phi: float = HH_PHI,
+) -> dict:
+    """Figure 8: heavy-hitter precision & recall vs actual sketch size."""
+    rows = []
+    for delta in deltas:
+        pla_w, pla_p, pla_r = _hh_quality(dataset, length, delta, "pla", phi)
+        pwc_w, pwc_p, pwc_r = _hh_quality(dataset, length, delta, "pwc", phi)
+        rows.append(
+            (
+                delta,
+                pla_w,
+                round(pla_p, 3),
+                round(pla_r, 3),
+                pwc_w,
+                round(pwc_p, 3),
+                round(pwc_r, 3),
+            )
+        )
+    report(
+        f"Figure 8 ({dataset}): heavy-hitter quality vs sketch size "
+        f"(phi={phi}, m={length})",
+        [
+            "delta",
+            "PLA words",
+            "PLA-prec",
+            "PLA-rec",
+            "PWC words",
+            "PWC-prec",
+            "PWC-rec",
+        ],
+        rows,
+        json_name=f"fig8_{dataset}",
+    )
+    return {"dataset": dataset, "rows": rows, "phi": phi}
+
+
+# --------------------------------------------------------------------- #
+# Figures 9 & 10 — self-join size
+# --------------------------------------------------------------------- #
+
+
+#: Query windows for the self-join experiments: the paper's fixed
+#: (0.2m, 0.6m] plus two shifted copies.  The paper instead repeats the
+#: randomized build 10 times; for the deterministic PWC baselines that
+#: would return the identical answer, so window variation stands in for
+#: repetition (same estimator, fresh bias realizations).
+SELFJOIN_WINDOWS: tuple[tuple[float, float], ...] = (
+    (0.2, 0.6),
+    (0.1, 0.5),
+    (0.3, 0.7),
+)
+
+
+def _selfjoin_errors(
+    dataset: str, length: int, delta: float
+) -> dict[str, tuple[int, float]]:
+    """(words, mean relative self-join error) per scheme.
+
+    Errors are averaged over :data:`SELFJOIN_WINDOWS`, and for Sample
+    additionally over :data:`SAMPLE_REPS` independent sampling seeds.
+    """
+    truth = harness.get_truth(dataset, length)
+    windows = [
+        (int(a * length), int(b * length)) for a, b in SELFJOIN_WINDOWS
+    ]
+    actuals = [truth.self_join_size(s, t) for s, t in windows]
+
+    sample_errors = []
+    sample_words = 0
+    for rep in range(SAMPLE_REPS):
+        sketch = harness.build_sample(
+            dataset, length, delta, sampling_seed=rep + 1
+        )
+        for (s, t), actual in zip(windows, actuals):
+            sample_errors.append(
+                relative_error(sketch.self_join_size(s, t), actual)
+            )
+        sample_words = sketch.persistence_words()
+    pwc_ams = harness.build_pwc_ams(dataset, length, delta)
+    pwc_cm = harness.build_pwc_cm(dataset, length, delta)
+
+    def windowed_mean(sketch) -> float:
+        return sum(
+            relative_error(sketch.self_join_size(s, t), actual)
+            for (s, t), actual in zip(windows, actuals)
+        ) / len(windows)
+
+    return {
+        "Sample": (sample_words, sum(sample_errors) / len(sample_errors)),
+        "PWC_AMS": (pwc_ams.persistence_words(), windowed_mean(pwc_ams)),
+        "PWC_CountMin": (pwc_cm.persistence_words(), windowed_mean(pwc_cm)),
+    }
+
+
+def run_fig9(
+    dataset: str,
+    length: int = LENGTH_MAIN,
+    deltas: Sequence[float] = DELTAS_MAIN,
+) -> dict:
+    """Figure 9: self-join relative error vs ``Delta``.
+
+    ``Sample_Theory`` is the Theorem 4.2 bound normalized by the true
+    self-join size.
+    """
+    truth = harness.get_truth(dataset, length)
+    s, t = harness.paper_window(length)
+    l2sq = float(truth.self_join_size(s, t))
+    eps = theory.eps_for_ams_width(harness.BENCH_WIDTH_AMS)
+    rows = []
+    for delta in deltas:
+        errors = _selfjoin_errors(dataset, length, delta)
+        rows.append(
+            (
+                delta,
+                errors["Sample"][1],
+                errors["PWC_AMS"][1],
+                errors["PWC_CountMin"][1],
+                theory.sample_theory_selfjoin_error(delta, eps, l2sq),
+            )
+        )
+    report(
+        f"Figure 9 ({dataset}): self-join relative error vs delta "
+        f"(m={length})",
+        ["delta", "Sample", "PWC_AMS", "PWC_CountMin", "Sample_Theory"],
+        rows,
+        json_name=f"fig9_{dataset}",
+    )
+    emit(
+        render_chart(
+            [row[0] for row in rows],
+            {
+                "Sample": [row[1] for row in rows],
+                "PWC_AMS": [row[2] for row in rows],
+                "PWC_CM": [row[3] for row in rows],
+            },
+            log_x=True,
+            log_y=True,
+            x_label="delta",
+            y_label="rel err",
+        )
+    )
+    return {"dataset": dataset, "rows": rows}
+
+
+def run_fig10(
+    dataset: str,
+    length: int = LENGTH_MAIN,
+    deltas: Sequence[float] = DELTAS_MAIN,
+) -> dict:
+    """Figure 10: self-join relative error vs actual sketch size."""
+    rows = []
+    for delta in deltas:
+        errors = _selfjoin_errors(dataset, length, delta)
+        rows.append(
+            (
+                delta,
+                errors["Sample"][0],
+                errors["Sample"][1],
+                errors["PWC_AMS"][0],
+                errors["PWC_AMS"][1],
+                errors["PWC_CountMin"][0],
+                errors["PWC_CountMin"][1],
+            )
+        )
+    report(
+        f"Figure 10 ({dataset}): self-join error vs sketch size (m={length})",
+        [
+            "delta",
+            "Sample words",
+            "Sample err",
+            "PWC_AMS words",
+            "PWC_AMS err",
+            "PWC_CM words",
+            "PWC_CM err",
+        ],
+        rows,
+        json_name=f"fig10_{dataset}",
+    )
+    return {"dataset": dataset, "rows": rows}

@@ -1,0 +1,43 @@
+"""Accuracy metrics used by the paper's experiments (Section 6.3)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def mean_absolute_error(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> float:
+    """Mean of ``|estimate - truth|`` over paired values."""
+    if len(estimates) != len(truths):
+        raise ValueError("estimates and truths must have equal length")
+    if not estimates:
+        raise ValueError("cannot average zero queries")
+    return sum(abs(e - t) for e, t in zip(estimates, truths)) / len(estimates)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth`` (truth must be nonzero)."""
+    if truth == 0:
+        raise ValueError("relative error undefined for zero truth")
+    return abs(estimate - truth) / abs(truth)
+
+
+def precision_recall(
+    returned: Iterable[int], actual: Iterable[int]
+) -> tuple[float, float]:
+    """Precision and recall of a returned heavy-hitter set.
+
+    Precision: fraction of returned elements that are actual heavy
+    hitters.  Recall: fraction of actual heavy hitters returned.  Both
+    default to 1.0 on empty denominators (returning nothing when there is
+    nothing to return is perfect).
+    """
+    returned_set = set(returned)
+    actual_set = set(actual)
+    true_positives = len(returned_set & actual_set)
+    precision = (
+        true_positives / len(returned_set) if returned_set else 1.0
+    )
+    recall = true_positives / len(actual_set) if actual_set else 1.0
+    return precision, recall

@@ -1,0 +1,81 @@
+"""Plain-text experiment reporting.
+
+Experiment reports go to stdout; when run under pytest-benchmark, the
+``benchmarks/conftest.py`` fixture disables output capture around each
+experiment so the series the paper plots land in the operator's
+``bench_output.txt``.  Structured copies of every report are also written
+to ``results/`` as JSON for archival and for authoring EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+#: Directory for machine-readable experiment outputs.
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+#: Every line emitted this session, in order.  The benchmark conftest
+#: replays these in ``pytest_terminal_summary`` (which runs uncaptured),
+#: so the experiment tables always reach the operator's log even though
+#: pytest captures stdout during the tests themselves.
+SESSION_LINES: list[str] = []
+
+
+def emit(text: str = "") -> None:
+    """Print one report line, flushing eagerly, and record it."""
+    SESSION_LINES.append(text)
+    print(text, file=sys.stdout, flush=True)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[_fmt(h) for h in headers]] + [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if idx == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def report(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    json_name: str | None = None,
+) -> None:
+    """Emit a titled table and archive it as JSON under ``results/``."""
+    emit()
+    emit(f"=== {title} ===")
+    emit(format_table(headers, rows))
+    if json_name:
+        save_json(json_name, {"title": title, "headers": list(headers),
+                              "rows": [list(r) for r in rows]})
+
+
+def save_json(name: str, payload: dict) -> Path:
+    """Write ``payload`` to ``results/<name>.json`` and return the path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=float))
+    return path

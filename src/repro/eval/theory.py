@@ -1,0 +1,90 @@
+"""Closed-form curves the paper overlays on its plots.
+
+``Sample_Theory`` in Figures 3 and 9 is the expected size/error of the
+sampling technique, which unlike the others does not depend on the data
+distribution; the remaining helpers give the worst-case space of each
+persistence scheme and the a-priori error bounds of the theorems, used by
+tests to check that measurements respect theory.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def sample_theory_words(m: int, depth: int, delta: float, copies: int = 1) -> float:
+    """Expected persistence words of the Sample sketch (Figure 3's overlay).
+
+    Every update offers one value per row per copy at probability
+    ``1/Delta``; each record is 2 words.
+    """
+    return 2.0 * copies * depth * m / delta
+
+
+def sample_theory_selfjoin_error(
+    delta: float, eps: float, l2_squared: float
+) -> float:
+    """Theorem 4.2's relative self-join error bound (Figure 9's overlay).
+
+    ``E / ||f||_2^2`` with ``f = g`` and ``Delta_f = Delta_g = delta``:
+    ``eps * (1 + (delta / (eps * ||f||_2))^2)``.
+    """
+    if l2_squared <= 0:
+        raise ValueError("l2_squared must be positive")
+    return eps * (1.0 + delta**2 / (eps**2 * l2_squared))
+
+
+def pla_worst_case_words(m: int, depth: int, delta: float) -> float:
+    """Worst-case PLA persistence words: a segment (3 words) per ``Delta``
+    updates per row (Section 3.3)."""
+    return 3.0 * depth * m / delta
+
+
+def pla_random_model_segments(m: int, delta: float) -> float:
+    """Theorem 3.3's expected per-row segment count, ``O(m / Delta^2)``.
+
+    The constant is not pinned down by the theorem; callers compare
+    *scaling* against this curve, not absolute values.
+    """
+    return m / delta**2
+
+
+def pwc_worst_case_words(m: int, depth: int, delta: float) -> float:
+    """Worst-case PWC persistence words: a record (2 words) per ``Delta``
+    updates per row (Section 2)."""
+    return 2.0 * depth * m / delta
+
+
+def countmin_point_error_bound(
+    eps: float, delta: float, window_l1: float
+) -> float:
+    """Theorem 3.1: ``eps * ||f_{s,t}||_1 + Delta``."""
+    return eps * window_l1 + delta
+
+
+def ams_point_error_bound(eps: float, delta: float, window_l2: float) -> float:
+    """Theorem 4.1: ``eps * ||f_{s,t}||_2 + Delta``."""
+    return eps * window_l2 + delta
+
+
+def ams_join_error_bound(
+    eps: float,
+    delta_f: float,
+    delta_g: float,
+    l2_f: float,
+    l2_g: float,
+) -> float:
+    """Theorem 4.2's join-size error ``E``."""
+    return eps * math.sqrt(
+        (l2_f**2 + (delta_f / eps) ** 2) * (l2_g**2 + (delta_g / eps) ** 2)
+    )
+
+
+def eps_for_countmin_width(width: int) -> float:
+    """The ``eps`` a Count-Min of the given width guarantees (``e / w``)."""
+    return math.e / width
+
+
+def eps_for_ams_width(width: int) -> float:
+    """The ``eps`` an AMS sketch of the given width guarantees (``2/sqrt(w)``)."""
+    return 2.0 / math.sqrt(width)

@@ -1,0 +1,34 @@
+"""Carter-Wegman polynomial hash families.
+
+The sketches in this library need two kinds of limited-independence hash
+functions (Section 1.2 of the paper):
+
+* pairwise-independent bucket hashes ``h_j : [n] -> [w]`` for both the
+  Count-Min and the AMS sketch, and
+* 4-wise independent sign hashes ``xi_j : [n] -> {-1, +1}`` for the AMS
+  sketch.
+
+Both are built from degree-(k-1) polynomials with random coefficients over
+the Mersenne prime field ``GF(2^61 - 1)``, the classic Carter-Wegman
+construction [8].  Every family is deterministically seeded so experiments
+are reproducible.
+"""
+
+from repro.hashing.carter_wegman import MERSENNE_PRIME, PolynomialHash
+from repro.hashing.families import (
+    BucketHashFamily,
+    HashConfig,
+    SignHashFamily,
+    make_bucket_family,
+    make_sign_family,
+)
+
+__all__ = [
+    "MERSENNE_PRIME",
+    "PolynomialHash",
+    "BucketHashFamily",
+    "SignHashFamily",
+    "HashConfig",
+    "make_bucket_family",
+    "make_sign_family",
+]

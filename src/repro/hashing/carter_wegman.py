@@ -1,0 +1,110 @@
+"""Polynomial hashing over the Mersenne prime field GF(2^61 - 1).
+
+A degree-(k-1) polynomial with independently random coefficients drawn from
+``GF(p)`` is a k-wise independent hash function [Carter & Wegman 1977].  We
+use the Mersenne prime ``p = 2^61 - 1`` so that reduction mod p can be done
+with shifts and masks instead of division, and so that hash values fit
+comfortably in a machine word.
+
+Python integers are arbitrary precision, so the arithmetic here is exact;
+the fast-reduction trick still pays because it avoids the bignum division
+path for the common case of < 122-bit intermediates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: The Mersenne prime 2^61 - 1 used as the field modulus.
+MERSENNE_PRIME = (1 << 61) - 1
+
+_MASK61 = MERSENNE_PRIME
+
+
+def mod_mersenne(x: int) -> int:
+    """Reduce a non-negative integer modulo ``2^61 - 1`` without division.
+
+    Repeatedly folds the high bits down (``x mod 2^61 - 1 ==
+    (x >> 61) + (x & mask)`` up to one final correction).
+    """
+    while x > _MASK61:
+        x = (x >> 61) + (x & _MASK61)
+    if x == _MASK61:
+        return 0
+    return x
+
+
+class PolynomialHash:
+    """A k-wise independent hash ``[n] -> [0, p)`` from a random polynomial.
+
+    Evaluates ``a_{k-1} x^{k-1} + ... + a_1 x + a_0 mod p`` by Horner's rule.
+    The leading coefficient is forced nonzero so the polynomial has full
+    degree (required for exact k-wise independence of the standard
+    construction).
+
+    Parameters
+    ----------
+    degree:
+        Number of coefficients ``k``; the resulting family is k-wise
+        independent.  ``degree=2`` gives pairwise, ``degree=4`` 4-wise.
+    rng:
+        Source of randomness for the coefficients.
+    """
+
+    __slots__ = ("coefficients",)
+
+    def __init__(self, degree: int, rng: random.Random):
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        coeffs = [rng.randrange(MERSENNE_PRIME) for _ in range(degree)]
+        if degree > 1:
+            # Leading coefficient must be nonzero for full independence.
+            coeffs[-1] = 1 + rng.randrange(MERSENNE_PRIME - 1)
+        self.coefficients: tuple[int, ...] = tuple(coeffs)
+
+    def __call__(self, x: int) -> int:
+        """Evaluate the polynomial at ``x``; result lies in ``[0, p)``."""
+        acc = 0
+        for c in reversed(self.coefficients):
+            acc = mod_mersenne(acc * x + c)
+        return acc
+
+    def hash_array(self, xs: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized evaluation; returns an ``object``-free uint64 array.
+
+        Uses Python-int Horner per element when inputs may overflow uint64
+        products; for the typical case (universe < 2^32) evaluates with
+        ``object`` dtype only transiently.  Exactness is preserved.
+        """
+        arr = np.asarray(xs, dtype=object)
+        acc = np.zeros(len(arr), dtype=object)
+        for c in reversed(self.coefficients):
+            acc = acc * arr + c
+            acc = np.frompyfunc(mod_mersenne, 1, 1)(acc)
+        return acc.astype(np.uint64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PolynomialHash(degree={len(self.coefficients)})"
+
+
+def polynomial_hashes(
+    count: int, degree: int, seed: int
+) -> list[PolynomialHash]:
+    """Create ``count`` independent :class:`PolynomialHash` functions."""
+    rng = random.Random(seed)
+    return [PolynomialHash(degree, rng) for _ in range(count)]
+
+
+def batched(iterable: Iterable[int], size: int) -> Iterable[list[int]]:
+    """Yield lists of at most ``size`` items from ``iterable``."""
+    batch: list[int] = []
+    for item in iterable:
+        batch.append(item)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

@@ -1,0 +1,16 @@
+"""Serialization of persistent sketches.
+
+A persistent sketch is an *archive*: it outlives the stream that built
+it.  This package round-trips the four window-query sketches (and the
+dyadic heavy-hitter structure composed of them) through a versioned,
+self-describing JSON document — optionally gzip-compressed — so a sketch
+ingested on one machine can be queried, or further updated, on another.
+
+    from repro.io import save, load
+    save(sketch, "urls.sketch.gz")
+    sketch = load("urls.sketch.gz")
+"""
+
+from repro.io.serialize import from_dict, load, save, to_dict
+
+__all__ = ["save", "load", "to_dict", "from_dict"]

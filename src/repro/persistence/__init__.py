@@ -1,0 +1,30 @@
+"""Generic persistence machinery shared by the persistent sketches.
+
+* :class:`~repro.persistence.history_list.SampledHistoryList` — the
+  Bernoulli-sampled counter history of the sampling-based technique
+  (Section 4), with the ``+Delta-1`` unbiasedness compensation.
+* :class:`~repro.persistence.tracker.PLATracker` /
+  :class:`~repro.persistence.tracker.PWCTracker` — uniform counter-history
+  interface over the PLA and piecewise-constant recorders, so the
+  persistent Count-Min wrapper is generic in the compression scheme.
+* :class:`~repro.persistence.epochs.EpochManager` — the norm-doubling
+  epoch rule of Section 5.
+* :class:`~repro.persistence.timeline.TimelineIndex` — batched predecessor
+  search across many history lists (the role fractional cascading plays in
+  the paper's query-time analysis).
+"""
+
+from repro.persistence.epochs import Epoch, EpochManager
+from repro.persistence.history_list import SampledHistoryList
+from repro.persistence.timeline import TimelineIndex
+from repro.persistence.tracker import CounterTracker, PLATracker, PWCTracker
+
+__all__ = [
+    "SampledHistoryList",
+    "CounterTracker",
+    "PLATracker",
+    "PWCTracker",
+    "Epoch",
+    "EpochManager",
+    "TimelineIndex",
+]

@@ -1,0 +1,102 @@
+"""Epoch management for the historical (s = 0) sketches of Section 5.
+
+The additive persistence error ``Delta`` can be eliminated for historical
+queries by keeping ``Delta`` proportional to the current norm of the
+frequency vector: the stream is divided into *epochs* within which the norm
+stays within a constant factor (2 by default), and each epoch uses
+``Delta = eps * norm(epoch start)``.  Whenever the tracked norm doubles (or
+halves, in the turnstile model) a new epoch begins.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Epoch:
+    """One epoch: ``[start_time, next.start_time)``.
+
+    Attributes
+    ----------
+    index:
+        0-based position in the epoch sequence.
+    start_time:
+        First timestamp covered.
+    start_norm:
+        Tracked norm at the epoch start; the caller derives the epoch's
+        ``Delta`` from it (``eps * start_norm``).
+    """
+
+    index: int
+    start_time: int
+    start_norm: float
+
+
+class EpochManager:
+    """Splits time into norm-doubling epochs.
+
+    Parameters
+    ----------
+    factor:
+        Epoch boundary trigger: a new epoch starts when the norm leaves
+        ``[start_norm / factor, start_norm * factor]``.
+    """
+
+    def __init__(self, factor: float = 2.0):
+        if factor <= 1.0:
+            raise ValueError(f"factor must exceed 1, got {factor}")
+        self.factor = factor
+        self._epochs: list[Epoch] = []
+        self._start_times: list[int] = []
+
+    @property
+    def epochs(self) -> list[Epoch]:
+        """All epochs created so far, in time order."""
+        return self._epochs
+
+    @property
+    def current(self) -> Epoch | None:
+        """The open epoch, or ``None`` before the first observation."""
+        return self._epochs[-1] if self._epochs else None
+
+    def observe(self, t: int, norm: float) -> Epoch | None:
+        """Report the tracked norm at time ``t``.
+
+        Returns the newly started :class:`Epoch` when a boundary is
+        crossed (including the very first epoch), else ``None``.
+        """
+        current = self.current
+        if current is None:
+            return self._start(t, norm)
+        if (
+            norm >= current.start_norm * self.factor
+            or norm <= current.start_norm / self.factor
+        ):
+            return self._start(t, norm)
+        return None
+
+    def epoch_at(self, t: float) -> Epoch:
+        """The epoch containing time ``t``.
+
+        Times before the first epoch map to the first epoch (the paper's
+        model starts the clock at the first arrival).
+        """
+        if not self._epochs:
+            raise ValueError("no epochs yet: nothing has been observed")
+        idx = bisect_right(self._start_times, t) - 1
+        return self._epochs[max(idx, 0)]
+
+    def _start(self, t: int, norm: float) -> Epoch:
+        epoch = Epoch(
+            index=len(self._epochs),
+            start_time=t,
+            start_norm=max(norm, 1.0),
+        )
+        self._epochs.append(epoch)
+        self._start_times.append(t)
+        return epoch
+
+    def __len__(self) -> int:
+        return len(self._epochs)

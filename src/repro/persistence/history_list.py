@@ -1,0 +1,102 @@
+"""Sampled counter histories (Section 4.1 of the paper).
+
+Each monotonically increasing counter component keeps a *history list*:
+whenever the component is incremented, the new value is appended together
+with its timestamp with probability ``p = 1/Delta``.  Reading the component
+at time ``t`` finds the predecessor record (largest sampled timestamp at or
+before ``t``) and compensates the expected number of unsampled increments:
+
+    estimate = sampled_value + 1/p - 1        (Equation (1) in the paper)
+
+or the component's starting value when no predecessor exists.  The
+compensated read is an unbiased estimator of the true component value with
+second moment at most ``1/p^2`` (Lemma A.5), which is what makes the
+sampling technique usable for the holistic join-size queries where the
+deterministic baselines' bias gets amplified.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from random import Random
+
+#: Machine words per record (value + timestamp), per Section 6.2.
+WORDS_PER_RECORD = 2
+
+
+class SampledHistoryList:
+    """History of one monotone counter component.
+
+    Parameters
+    ----------
+    probability:
+        Sampling probability ``p = 1/Delta`` in ``(0, 1]``.
+    rng:
+        Shared random source (one per sketch keeps the hot path cheap).
+    initial_value:
+        Component value before its first increment (nonzero at epoch
+        boundaries in the Section 5.2 construction).
+    """
+
+    __slots__ = ("probability", "initial_value", "_times", "_values", "_rng")
+
+    def __init__(
+        self, probability: float, rng: Random, initial_value: int = 0
+    ):
+        if not 0 < probability <= 1:
+            raise ValueError(
+                f"sampling probability must lie in (0, 1], got {probability}"
+            )
+        self.probability = probability
+        self.initial_value = initial_value
+        self._times: list[int] = []
+        self._values: list[int] = []
+        self._rng = rng
+
+    def offer(self, t: int, value: int) -> None:
+        """Offer the component's new value at time ``t`` for sampling."""
+        if self._rng.random() < self.probability:
+            self._times.append(t)
+            self._values.append(value)
+
+    def force_sample(self, t: int, value: int) -> None:
+        """Record unconditionally (used by tests and epoch bootstrapping)."""
+        self._times.append(t)
+        self._values.append(value)
+
+    def estimate_at(self, t: float) -> float:
+        """Unbiased compensated estimate of the component value at ``t``."""
+        idx = bisect_right(self._times, t) - 1
+        if idx < 0:
+            return float(self.initial_value)
+        return self._values[idx] + (1.0 / self.probability) - 1.0
+
+    def estimate_at_index(self, idx: int) -> float:
+        """Compensated estimate from a precomputed predecessor index.
+
+        Used by the fractional-cascading query path
+        (:meth:`repro.core.persistent_ams.PersistentAMS.build_timeline`),
+        which batch-computes predecessor indices across many lists.
+        ``idx < 0`` means "no predecessor".
+        """
+        if idx < 0:
+            return float(self.initial_value)
+        return self._values[idx] + (1.0 / self.probability) - 1.0
+
+    def sample_times(self) -> list[int]:
+        """The sampled timestamps, strictly increasing."""
+        return self._times
+
+    def last_sampled_at(self, t: float) -> tuple[int, int] | None:
+        """The raw predecessor record ``(time, value)``, if any."""
+        idx = bisect_right(self._times, t) - 1
+        if idx < 0:
+            return None
+        return self._times[idx], self._values[idx]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def words(self) -> int:
+        """Space in machine words (2 per record, per Section 6.2)."""
+        return WORDS_PER_RECORD * len(self._times)

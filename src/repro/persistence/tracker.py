@@ -1,0 +1,84 @@
+"""Uniform interface over per-counter history compressors.
+
+The PLA-based persistent Count-Min sketch and the PWC baselines differ only
+in *how* each counter's history is compressed.  :class:`CounterTracker`
+abstracts that choice so a single persistent-sketch wrapper
+(:mod:`repro.core`) serves all of PLA / PWC_CountMin / PWC_AMS.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.pla.orourke import OnlinePLA
+from repro.pla.piecewise_constant import OnlinePWC
+
+
+class CounterTracker(ABC):
+    """History of one counter, fed on every change, readable at any time."""
+
+    @abstractmethod
+    def feed(self, t: int, value: float) -> None:
+        """Observe the counter's new value at time ``t``."""
+
+    @abstractmethod
+    def value_at(self, t: float) -> float:
+        """Approximate counter value at time ``t``."""
+
+    @abstractmethod
+    def words(self) -> int:
+        """Persistence space in machine words."""
+
+    @abstractmethod
+    def finalize(self) -> None:
+        """Flush any buffered state (end of stream or epoch boundary)."""
+
+
+class PLATracker(CounterTracker):
+    """Piecewise-linear history with additive error ``delta`` (Section 3)."""
+
+    __slots__ = ("_pla",)
+
+    def __init__(self, delta: float, initial_value: float = 0.0):
+        self._pla = OnlinePLA(delta=delta, initial_value=initial_value)
+
+    def feed(self, t: int, value: float) -> None:
+        self._pla.feed(t, value)
+
+    def value_at(self, t: float) -> float:
+        return self._pla.value_at(t)
+
+    def words(self) -> int:
+        return self._pla.words()
+
+    def segment_count(self) -> int:
+        """Number of PLA segments (open run included)."""
+        return self._pla.segment_count()
+
+    def finalize(self) -> None:
+        self._pla.finalize()
+
+
+class PWCTracker(CounterTracker):
+    """Piecewise-constant history with threshold ``delta`` (Section 2)."""
+
+    __slots__ = ("_pwc",)
+
+    def __init__(self, delta: float, initial_value: float = 0.0):
+        self._pwc = OnlinePWC(delta=delta, initial_value=initial_value)
+
+    def feed(self, t: int, value: float) -> None:
+        self._pwc.feed(t, value)
+
+    def value_at(self, t: float) -> float:
+        return self._pwc.value_at(t)
+
+    def words(self) -> int:
+        return self._pwc.words()
+
+    def record_count(self) -> int:
+        """Number of recorded (time, value) pairs."""
+        return len(self._pwc.function)
+
+    def finalize(self) -> None:
+        """No buffered state: PWC records eagerly."""

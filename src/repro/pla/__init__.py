@@ -1,0 +1,29 @@
+"""Piecewise approximation of counters over time.
+
+This package provides the two "counter compression" substrates of the paper:
+
+* :class:`~repro.pla.orourke.OnlinePLA` — O'Rourke's optimal online
+  algorithm [24] for fitting a piecewise-linear function through vertical
+  error bars of half-width ``delta``, used by the PLA-based persistent
+  Count-Min sketch (Section 3).
+* :class:`~repro.pla.piecewise_constant.OnlinePWC` — the piecewise-constant
+  recorder of the baseline solution (Section 2): record a value whenever it
+  deviates from the last recorded value by more than ``delta``.
+
+Both emit compact, binary-searchable read-only functions
+(:class:`~repro.pla.piecewise.PiecewiseLinearFunction` and
+:class:`~repro.pla.piecewise_constant.PiecewiseConstantFunction`).
+"""
+
+from repro.pla.orourke import OnlinePLA
+from repro.pla.piecewise import PiecewiseLinearFunction
+from repro.pla.piecewise_constant import OnlinePWC, PiecewiseConstantFunction
+from repro.pla.segment import Segment
+
+__all__ = [
+    "Segment",
+    "OnlinePLA",
+    "PiecewiseLinearFunction",
+    "OnlinePWC",
+    "PiecewiseConstantFunction",
+]

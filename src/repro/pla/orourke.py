@@ -1,0 +1,330 @@
+"""O'Rourke's optimal online piecewise-linear approximation [24].
+
+Given a stream of points ``(t, v)`` with strictly increasing ``t`` and an
+error bound ``delta``, maintain the invariant that all points fed since the
+last emitted segment can be approximated by a single line within vertical
+distance ``delta``.  When a new point breaks the invariant, emit a segment
+for the points so far and restart from the new point.  The greedy strategy
+is optimal in the number of segments, and amortized O(1) per point.
+
+Feasibility is tracked exactly with the classic dual pair of supporting
+lines:
+
+* ``u`` — the *maximum-slope* line that passes above every lowered point
+  ``(t, v - delta)`` and below every raised point ``(t, v + delta)``;
+* ``l`` — the *minimum-slope* such line.
+
+A single line through all error bars exists iff both lines exist, i.e. iff
+``u`` clears the new lower bar and ``l`` clears the new upper bar.  The
+supporting lines are updated via tangents to two convex chains (the upper
+hull of lowered points and the lower hull of raised points), with pointers
+that only move forward, giving the amortized O(1) bound.
+
+All interior arithmetic is anchored at the first time of the current run so
+float precision does not degrade with stream position.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.pla.piecewise import PiecewiseLinearFunction
+from repro.pla.segment import Segment
+
+# Tolerance for feasibility comparisons.  Inputs are integer counters and
+# timestamps, so any violation smaller than this is floating-point noise.
+_EPS = 1e-9
+
+
+def _cross(ox: float, oy: float, px: float, py: float, qx: float, qy: float) -> float:
+    """2D cross product of (o->p) x (o->q)."""
+    return (px - ox) * (qy - oy) - (py - oy) * (qx - ox)
+
+
+class OnlinePLA:
+    """Optimal online PLA generator for one counter.
+
+    Parameters
+    ----------
+    delta:
+        Maximum allowed vertical deviation between the approximation and
+        any fed point.  Must be positive.
+    initial_value:
+        Counter value before any point is fed (0 for a fresh counter;
+        nonzero when a counter is re-tracked mid-stream, e.g. at an epoch
+        boundary in the Section 5 construction).
+    on_segment:
+        Optional callback invoked with each emitted :class:`Segment`;
+        defaults to appending to :attr:`function`.
+    """
+
+    __slots__ = (
+        "delta",
+        "function",
+        "_on_segment",
+        "_t0",
+        "_last_x",
+        "_count",
+        "_first_v",
+        "_hull_a",
+        "_start_a",
+        "_hull_b",
+        "_start_b",
+        "_u_slope",
+        "_u_icept",
+        "_l_slope",
+        "_l_icept",
+    )
+
+    def __init__(
+        self,
+        delta: float,
+        initial_value: float = 0.0,
+        on_segment: Callable[[Segment], None] | None = None,
+    ):
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+        self.function = PiecewiseLinearFunction(initial_value=initial_value)
+        self._on_segment = on_segment or self.function.append
+        self._reset_run()
+
+    def _reset_run(self) -> None:
+        self._t0 = 0  # global time of the run's first point
+        self._last_x = 0.0  # last fed time, relative to _t0
+        self._count = 0  # points in the current run
+        self._first_v = 0.0
+        # Upper hull of lowered points (x, v - delta); tangent ptr start_a.
+        self._hull_a: list[tuple[float, float]] = []
+        self._start_a = 0
+        # Lower hull of raised points (x, v + delta); tangent ptr start_b.
+        self._hull_b: list[tuple[float, float]] = []
+        self._start_b = 0
+        # Supporting lines y = slope * x + icept (x relative to _t0).
+        self._u_slope = 0.0
+        self._u_icept = 0.0
+        self._l_slope = 0.0
+        self._l_icept = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Feeding
+    # ------------------------------------------------------------------ #
+
+    def feed(self, t: int, v: float) -> None:
+        """Feed the counter value ``v`` observed at time ``t``.
+
+        Times must be strictly increasing across calls.
+        """
+        if self._count == 0:
+            self._begin_run(t, v)
+            return
+        x = float(t - self._t0)
+        if x <= self._last_x:
+            raise ValueError(
+                f"feed times must be strictly increasing: {t} after "
+                f"{self._t0 + self._last_x}"
+            )
+        a = v - self.delta
+        b = v + self.delta
+        if self._count == 1:
+            self._second_point(x, a, b)
+            self._last_x = x
+            return
+        # Infeasible if even the extreme supporting lines miss the new bar.
+        if (
+            self._u_slope * x + self._u_icept < a - _EPS
+            or self._l_slope * x + self._l_icept > b + _EPS
+        ):
+            self._emit_segment()
+            self._reset_run()
+            self._begin_run(t, v)
+            return
+        # Tighten u if the new upper bar cuts below it.
+        if self._u_slope * x + self._u_icept > b + _EPS:
+            self._start_a = _tangent_min_slope(self._hull_a, self._start_a, x, b)
+            ax, ay = self._hull_a[self._start_a]
+            self._u_slope = (b - ay) / (x - ax)
+            self._u_icept = ay - self._u_slope * ax
+        # Tighten l if the new lower bar cuts above it.
+        if self._l_slope * x + self._l_icept < a - _EPS:
+            self._start_b = _tangent_max_slope(self._hull_b, self._start_b, x, a)
+            bx, by = self._hull_b[self._start_b]
+            self._l_slope = (a - by) / (x - bx)
+            self._l_icept = by - self._l_slope * bx
+        self._append_hull_a(x, a)
+        self._append_hull_b(x, b)
+        self._last_x = x
+        self._count += 1
+
+    def feed_many(self, times: list[int], values: list[float]) -> None:
+        """Feed a whole time-ordered run of points.
+
+        Semantically identical to calling :meth:`feed` per point; exists
+        because the bulk-ingest engine spends most of its time here and
+        a fused loop avoids per-call overhead.
+        """
+        for t, v in zip(times, values):
+            self.feed(t, v)
+
+    def finalize(self) -> PiecewiseLinearFunction:
+        """Emit the pending segment (if any) and return the PLA function.
+
+        The generator can keep being fed afterwards; finalizing mid-stream
+        simply closes the current run.
+        """
+        if self._count > 0:
+            self._emit_segment()
+            self._reset_run()
+        return self.function
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def value_at(self, t: float) -> float:
+        """Approximate counter value at time ``t``.
+
+        Works while the stream is still being ingested: query times inside
+        the open (not yet emitted) run are served from the current
+        supporting-line bisector, which is within ``delta`` of every fed
+        point of the run.
+        """
+        if self._count > 0 and t >= self._t0:
+            x = min(float(t - self._t0), self._last_x)
+            return self._bisector_at(x)
+        return self.function.value_at(t)
+
+    def segment_count(self, include_open: bool = True) -> int:
+        """Number of emitted segments (plus the open run by default)."""
+        return len(self.function) + (1 if include_open and self._count > 0 else 0)
+
+    def words(self) -> int:
+        """Persistent-archive space in machine words.
+
+        Counts only *generated* segments, matching the paper's Section 6.2
+        accounting (its explanation of Figure 3(b) states that no PLA
+        segment is generated for counters that never deviate by ``delta``).
+        The open run's supporting-line state is live working memory — the
+        analogue of the ephemeral sketch, which the paper also excludes —
+        and is what :meth:`value_at` consults for query times beyond the
+        last emitted segment.
+        """
+        return self.function.words()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _begin_run(self, t: int, v: float) -> None:
+        self._t0 = t
+        self._last_x = 0.0
+        self._count = 1
+        self._first_v = v
+        self._hull_a = [(0.0, v - self.delta)]
+        self._start_a = 0
+        self._hull_b = [(0.0, v + self.delta)]
+        self._start_b = 0
+
+    def _second_point(self, x: float, a: float, b: float) -> None:
+        v0_a = self._first_v - self.delta
+        v0_b = self._first_v + self.delta
+        # Max-slope line: lowered first point up to raised second point.
+        self._u_slope = (b - v0_a) / x
+        self._u_icept = v0_a
+        # Min-slope line: raised first point down to lowered second point.
+        self._l_slope = (a - v0_b) / x
+        self._l_icept = v0_b
+        self._append_hull_a(x, a)
+        self._append_hull_b(x, b)
+        self._count = 2
+
+    def _bisector_at(self, x: float) -> float:
+        if self._count == 1:
+            return self._first_v
+        slope = 0.5 * (self._u_slope + self._l_slope)
+        icept = 0.5 * (self._u_icept + self._l_icept)
+        return slope * x + icept
+
+    def _emit_segment(self) -> None:
+        if self._count == 1:
+            segment = Segment(
+                t_start=self._t0,
+                t_end=self._t0,
+                slope=0.0,
+                value_at_start=self._first_v,
+            )
+        else:
+            slope = 0.5 * (self._u_slope + self._l_slope)
+            icept = 0.5 * (self._u_icept + self._l_icept)
+            segment = Segment(
+                t_start=self._t0,
+                t_end=self._t0 + int(self._last_x),
+                slope=slope,
+                value_at_start=icept,
+            )
+        self._on_segment(segment)
+
+    def _append_hull_a(self, x: float, y: float) -> None:
+        hull = self._hull_a
+        start = self._start_a
+        # Upper hull: pop while the last point falls on/below the new chord.
+        while len(hull) - start >= 2 and (
+            _cross(hull[-2][0], hull[-2][1], hull[-1][0], hull[-1][1], x, y)
+            >= 0
+        ):
+            hull.pop()
+        hull.append((x, y))
+
+    def _append_hull_b(self, x: float, y: float) -> None:
+        hull = self._hull_b
+        start = self._start_b
+        # Lower hull: pop while the last point falls on/above the new chord.
+        while len(hull) - start >= 2 and (
+            _cross(hull[-2][0], hull[-2][1], hull[-1][0], hull[-1][1], x, y)
+            <= 0
+        ):
+            hull.pop()
+        hull.append((x, y))
+
+
+def _tangent_min_slope(
+    hull: list[tuple[float, float]], start: int, px: float, py: float
+) -> int:
+    """Index of the hull point minimizing slope to the external point.
+
+    ``hull[start:]`` is a concave chain left of ``(px, py)``; the slope
+    from chain point to external point is unimodal (decreasing, then
+    increasing), so a forward walk finds the minimum.  The returned index
+    becomes the new chain start: earlier points can never be tangent for
+    later external points, which is what makes the walk amortized O(1).
+    """
+    i = start
+    last = len(hull) - 1
+    while i < last:
+        cur = (py - hull[i][1]) / (px - hull[i][0])
+        nxt = (py - hull[i + 1][1]) / (px - hull[i + 1][0])
+        if nxt < cur:
+            i += 1
+        else:
+            break
+    return i
+
+
+def _tangent_max_slope(
+    hull: list[tuple[float, float]], start: int, px: float, py: float
+) -> int:
+    """Index of the hull point maximizing slope to the external point.
+
+    Mirror image of :func:`_tangent_min_slope` for the convex (lower hull)
+    chain.
+    """
+    i = start
+    last = len(hull) - 1
+    while i < last:
+        cur = (py - hull[i][1]) / (px - hull[i][0])
+        nxt = (py - hull[i + 1][1]) / (px - hull[i + 1][0])
+        if nxt > cur:
+            i += 1
+        else:
+            break
+    return i

@@ -1,0 +1,87 @@
+"""Piecewise-constant counter recording — the Section 2 baseline.
+
+The baseline persistent sketch keeps track of each counter over time but
+records a ``(timestamp, value)`` pair only when the counter has deviated
+from the last recorded value by more than ``delta``.  Reading at time ``t``
+returns the last recorded value at or before ``t`` (the multiversion
+predecessor read), which is within ``delta`` of the true counter value.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+#: Machine words per record (value + timestamp), per Section 6.2.
+WORDS_PER_RECORD = 2
+
+
+class PiecewiseConstantFunction:
+    """Read side of a piecewise-constant recording."""
+
+    __slots__ = ("_times", "_values", "initial_value")
+
+    def __init__(self, initial_value: float = 0.0):
+        self._times: list[int] = []
+        self._values: list[float] = []
+        self.initial_value = initial_value
+
+    def append(self, t: int, value: float) -> None:
+        """Record ``value`` at time ``t``; times must strictly increase."""
+        if self._times and t <= self._times[-1]:
+            raise ValueError(
+                f"record times must be strictly increasing: {t} <= "
+                f"{self._times[-1]}"
+            )
+        self._times.append(t)
+        self._values.append(value)
+
+    def value_at(self, t: float) -> float:
+        """Last recorded value at or before ``t`` (``initial_value`` if none)."""
+        idx = bisect_right(self._times, t) - 1
+        if idx < 0:
+            return self.initial_value
+        return self._values[idx]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def words(self) -> int:
+        """Space in machine words (2 per record, per Section 6.2)."""
+        return WORDS_PER_RECORD * len(self._times)
+
+
+class OnlinePWC:
+    """Online recorder: store the counter when it drifts more than ``delta``.
+
+    Parameters
+    ----------
+    delta:
+        Recording threshold.  A value is recorded when
+        ``|value - last_recorded| > delta``; the implied read error is at
+        most ``delta``.
+    initial_value:
+        Reference value before any record exists.
+    """
+
+    __slots__ = ("delta", "function", "_last_recorded")
+
+    def __init__(self, delta: float, initial_value: float = 0.0):
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+        self.function = PiecewiseConstantFunction(initial_value=initial_value)
+        self._last_recorded = float(initial_value)
+
+    def feed(self, t: int, value: float) -> None:
+        """Observe the counter value at time ``t``; record it if it drifted."""
+        if abs(value - self._last_recorded) > self.delta:
+            self.function.append(t, value)
+            self._last_recorded = value
+
+    def value_at(self, t: float) -> float:
+        """Approximate counter value at time ``t``."""
+        return self.function.value_at(t)
+
+    def words(self) -> int:
+        """Space in machine words."""
+        return self.function.words()

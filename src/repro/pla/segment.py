@@ -1,0 +1,53 @@
+"""Line segments of a piecewise-linear approximation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Machine words needed to store one segment (slope, offset, start time) —
+#: the accounting convention of Section 6.2 of the paper.
+WORDS_PER_SEGMENT = 3
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One segment ``y = slope * (t - t_start) + value_at_start``.
+
+    Segments are anchored at their start time so that evaluation never
+    multiplies a slope by a large absolute timestamp, keeping floating-point
+    error independent of stream position.
+
+    Attributes
+    ----------
+    t_start:
+        First fed timestamp covered by the segment.
+    t_end:
+        Last fed timestamp covered by the segment.  The segment remains the
+        best available approximation for query times in ``[t_end,
+        next.t_start)``; the counter cannot have changed there (a change
+        would have produced a fed point), so it is evaluated at ``t_end``.
+    slope, value_at_start:
+        Line parameters.
+    """
+
+    t_start: int
+    t_end: int
+    slope: float
+    value_at_start: float
+
+    def __call__(self, t: float) -> float:
+        """Evaluate the underlying line at time ``t`` (no clamping)."""
+        return self.value_at_start + self.slope * (t - self.t_start)
+
+    def evaluate_clamped(self, t: float) -> float:
+        """Evaluate at ``t`` clamped into ``[t_start, t_end]``.
+
+        Clamping at ``t_end`` is what makes the segment valid for query
+        times after its last fed point: the approximated step function is
+        constant there.
+        """
+        if t > self.t_end:
+            t = self.t_end
+        elif t < self.t_start:
+            t = self.t_start
+        return self.value_at_start + self.slope * (t - self.t_start)

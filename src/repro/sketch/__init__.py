@@ -1,0 +1,23 @@
+"""Ephemeral (non-persistent) streaming sketches.
+
+These are the classic data-stream summaries the paper makes persistent:
+
+* :class:`~repro.sketch.countmin.CountMinSketch` — Cormode-Muthukrishnan
+  Count-Min [11]: point queries with ``eps * ||f||_1`` error.
+* :class:`~repro.sketch.ams.AMSSketch` — the "fast AMS" sketch of
+  Alon-Matias-Szegedy as implemented by the Count Sketch [2, 9]: join /
+  self-join size with ``eps * ||f||_2 ||g||_2`` error and point queries
+  with ``eps * ||f||_2`` error.
+* :class:`~repro.sketch.exact.ExactFrequency` — the exact dictionary
+  counter used for ground truth.
+* :class:`~repro.sketch.l2_tracker.L2Tracker` — a small AMS instance
+  tracking ``||f_t||_2`` within a constant factor, the auxiliary structure
+  of Section 5.2.
+"""
+
+from repro.sketch.ams import AMSSketch
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.exact import ExactFrequency
+from repro.sketch.l2_tracker import L2Tracker
+
+__all__ = ["CountMinSketch", "AMSSketch", "ExactFrequency", "L2Tracker"]

@@ -1,0 +1,119 @@
+"""The fast AMS sketch [2], a.k.a. the Count Sketch [9].
+
+Same ``d x w`` counter array as the Count-Min sketch, but each element also
+carries a 4-wise independent sign: an update does
+``C[j][h_j(i)] += sign_j(i) * count``.  The signature query is join size:
+``sum_k C_f[j][k] * C_g[j][k]`` is an unbiased estimator of ``<f, g>`` per
+row, with the median over rows driving the failure probability down.
+
+Guarantees with ``w = O(1/eps^2)``, ``d = O(log 1/delta)``:
+
+* self-join size within ``eps * ||f||_2^2``;
+* join size within ``eps * ||f||_2 ||g||_2``;
+* point queries within ``eps' * ||f||_2`` for ``w = O(1/eps'^2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import median
+
+import numpy as np
+
+from repro.hashing import BucketHashFamily, HashConfig, SignHashFamily
+
+
+class AMSSketch:
+    """Ephemeral fast AMS / Count sketch.
+
+    Two sketches can estimate their join size only if they were built with
+    identical ``width``, ``depth`` and ``seed`` (shared hash functions, as
+    Section 4.1 of the paper requires).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        seed: int = 0,
+        buckets: BucketHashFamily | None = None,
+        signs: SignHashFamily | None = None,
+    ):
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        config = HashConfig(width=width, depth=depth, seed=seed)
+        self.buckets = buckets or BucketHashFamily(config)
+        self.signs = signs or SignHashFamily(config)
+        if self.buckets.width != width or self.buckets.depth != depth:
+            raise ValueError("bucket family shape does not match sketch shape")
+        if self.signs.depth != depth:
+            raise ValueError("sign family depth does not match sketch depth")
+        self.counters = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+
+    @classmethod
+    def from_error(cls, eps: float, delta: float, seed: int = 0) -> "AMSSketch":
+        """Build a sketch with join-size error ``eps * ||f||_2 ||g||_2``."""
+        if not 0 < eps < 1 or not 0 < delta < 1:
+            raise ValueError("eps and delta must lie in (0, 1)")
+        width = math.ceil(4.0 / eps**2)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=depth, seed=seed)
+
+    def update(self, item: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``item`` (negative in turnstile mode)."""
+        counters = self.counters
+        cols = self.buckets.buckets(item)
+        sgns = self.signs.signs(item)
+        for row in range(self.depth):
+            counters[row, cols[row]] += sgns[row] * count
+        self.total += count
+
+    def point(self, item: int) -> float:
+        """Point estimate: median over rows of ``sign * counter``."""
+        counters = self.counters
+        cols = self.buckets.buckets(item)
+        sgns = self.signs.signs(item)
+        return median(
+            float(sgns[row] * counters[row, cols[row]])
+            for row in range(self.depth)
+        )
+
+    def self_join_size(self) -> float:
+        """Estimate ``||f||_2^2``: median over rows of the row's sum of squares."""
+        per_row = (self.counters.astype(np.float64) ** 2).sum(axis=1)
+        return float(np.median(per_row))
+
+    def join_size(self, other: "AMSSketch") -> float:
+        """Estimate ``<f, g>`` with ``other`` (must share hash functions)."""
+        self._check_compatible(other)
+        per_row = (
+            self.counters.astype(np.float64) * other.counters.astype(np.float64)
+        ).sum(axis=1)
+        return float(np.median(per_row))
+
+    def l2_norm(self) -> float:
+        """Estimate ``||f||_2`` (square root of the self-join estimate)."""
+        return math.sqrt(max(self.self_join_size(), 0.0))
+
+    def merge(self, other: "AMSSketch") -> None:
+        """Add ``other``'s counters into this sketch (distributed ingest)."""
+        self._check_compatible(other)
+        self.counters += other.counters
+        self.total += other.total
+
+    def _check_compatible(self, other: "AMSSketch") -> None:
+        if (
+            self.width != other.width
+            or self.depth != other.depth
+            or self.seed != other.seed
+        ):
+            raise ValueError(
+                "join-size estimation requires sketches with identical "
+                "width, depth and seed"
+            )
+
+    def words(self) -> int:
+        """Size of the counter array in machine words."""
+        return self.width * self.depth

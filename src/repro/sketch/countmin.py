@@ -1,0 +1,113 @@
+"""The Count-Min sketch of Cormode and Muthukrishnan [11].
+
+A ``d x w`` array of counters with one pairwise-independent hash per row.
+Processing element ``i`` increments ``C[j][h_j(i)]`` in every row.  A point
+query returns ``min_j C[j][h_j(i)]`` in the cash-register model (every
+collision only adds, so each row overestimates); in the turnstile model the
+median is used instead.
+
+Setting ``w = ceil(e / eps)`` and ``d = ceil(ln 1/delta)`` yields the
+classic guarantee ``fhat_i <= f_i + eps * ||f||_1`` with probability at
+least ``1 - delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import median
+
+import numpy as np
+
+from repro.hashing import BucketHashFamily, HashConfig
+
+
+class CountMinSketch:
+    """Ephemeral Count-Min sketch.
+
+    Parameters
+    ----------
+    width:
+        Buckets per row (``w``); the relative error is ``O(1/w)``.
+    depth:
+        Rows (``d``); the failure probability is ``exp(-O(d))``.
+    seed:
+        Seed for the Carter-Wegman hash family.
+    hashes:
+        Optionally share a prebuilt :class:`BucketHashFamily` (as the
+        persistent wrappers do so that ephemeral and persistent state
+        stay aligned).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        seed: int = 0,
+        hashes: BucketHashFamily | None = None,
+    ):
+        self.width = width
+        self.depth = depth
+        self.hashes = hashes or BucketHashFamily(
+            HashConfig(width=width, depth=depth, seed=seed)
+        )
+        if self.hashes.width != width or self.hashes.depth != depth:
+            raise ValueError("hash family shape does not match sketch shape")
+        self.counters = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+
+    @classmethod
+    def from_error(cls, eps: float, delta: float, seed: int = 0) -> "CountMinSketch":
+        """Build a sketch guaranteeing error ``eps * ||f||_1`` w.p. ``1 - delta``."""
+        if not 0 < eps < 1 or not 0 < delta < 1:
+            raise ValueError("eps and delta must lie in (0, 1)")
+        width = math.ceil(math.e / eps)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=depth, seed=seed)
+
+    def update(self, item: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``item`` (negative in turnstile mode)."""
+        counters = self.counters
+        for row, col in enumerate(self.hashes.buckets(item)):
+            counters[row, col] += count
+        self.total += count
+
+    def point(self, item: int) -> int:
+        """Cash-register point estimate: the row minimum (never underestimates)."""
+        counters = self.counters
+        return int(
+            min(
+                counters[row, col]
+                for row, col in enumerate(self.hashes.buckets(item))
+            )
+        )
+
+    def point_median(self, item: int) -> float:
+        """Turnstile point estimate: the row median (two-sided error)."""
+        counters = self.counters
+        return median(
+            float(counters[row, col])
+            for row, col in enumerate(self.hashes.buckets(item))
+        )
+
+    def inner_product(self, other: "CountMinSketch") -> int:
+        """Upper-bound estimate of the join size with ``other``.
+
+        Both sketches must share width, depth and hash seed.
+        """
+        self._check_compatible(other)
+        per_row = (self.counters * other.counters).sum(axis=1)
+        return int(per_row.min())
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Add ``other``'s counters into this sketch (distributed ingest)."""
+        self._check_compatible(other)
+        self.counters += other.counters
+        self.total += other.total
+
+    def _check_compatible(self, other: "CountMinSketch") -> None:
+        if self.width != other.width or self.depth != other.depth:
+            raise ValueError("sketches have different shapes")
+
+    def words(self) -> int:
+        """Size of the counter array in machine words."""
+        return self.width * self.depth

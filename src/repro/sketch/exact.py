@@ -1,0 +1,71 @@
+"""Exact frequency counting, used for ground truth and tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+
+class ExactFrequency:
+    """A dictionary-backed exact frequency vector.
+
+    Not a sketch — linear space — but exposes the same query surface as the
+    sketches so tests and the evaluation harness can compare like with like.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[int] = Counter()
+        self.total = 0
+
+    def update(self, item: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``item``."""
+        self._counts[item] += count
+        if self._counts[item] == 0:
+            del self._counts[item]
+        self.total += count
+
+    def update_many(self, items: Iterable[int]) -> None:
+        """Add one occurrence of each item in ``items``."""
+        counts = self._counts
+        n = 0
+        for item in items:
+            counts[item] += 1
+            n += 1
+        self.total += n
+
+    def point(self, item: int) -> int:
+        """Exact frequency of ``item``."""
+        return self._counts[item]
+
+    def self_join_size(self) -> int:
+        """Exact ``||f||_2^2``."""
+        return sum(c * c for c in self._counts.values())
+
+    def join_size(self, other: "ExactFrequency") -> int:
+        """Exact ``<f, g>``."""
+        small, large = (
+            (self._counts, other._counts)
+            if len(self._counts) <= len(other._counts)
+            else (other._counts, self._counts)
+        )
+        return sum(c * large[item] for item, c in small.items() if item in large)
+
+    def l1_norm(self) -> int:
+        """Exact ``||f||_1``."""
+        return sum(abs(c) for c in self._counts.values())
+
+    def heavy_hitters(self, phi: float) -> dict[int, int]:
+        """Items with frequency at least ``phi * ||f||_1``."""
+        threshold = phi * self.l1_norm()
+        return {i: c for i, c in self._counts.items() if c >= threshold}
+
+    def top_k(self, k: int) -> list[tuple[int, int]]:
+        """The ``k`` most frequent items as ``(item, frequency)`` pairs."""
+        return self._counts.most_common(k)
+
+    def items(self) -> Iterable[tuple[int, int]]:
+        """All ``(item, frequency)`` pairs."""
+        return self._counts.items()
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,58 @@
+"""Constant-factor tracking of the L2 norm over the whole stream.
+
+Section 5.2 of the paper needs a running estimate of ``||f_t||_2`` that is
+correct within a constant factor *simultaneously for all t*, in order to
+decide epoch boundaries for the historical persistent AMS sketch.  A small
+AMS sketch of width ``O(1)`` and depth ``O(log(m / delta))`` achieves this:
+each individual estimate is a constant-factor approximation with
+probability ``1 - delta/m``, and a union bound covers every time step.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sketch.ams import AMSSketch
+
+
+class L2Tracker:
+    """Running constant-factor estimator of ``||f_t||_2``.
+
+    Parameters
+    ----------
+    expected_length:
+        Upper bound ``m`` on the stream length (drives the depth via the
+        union bound).  Being wrong only degrades the constant, not
+        correctness of the persistent sketch built on top.
+    delta:
+        Overall failure probability target across all time steps.
+    seed:
+        Hash seed.
+    """
+
+    #: Width sufficient for a constant-factor (within ~2x) estimate per row.
+    DEFAULT_WIDTH = 16
+
+    def __init__(
+        self,
+        expected_length: int = 1_000_000,
+        delta: float = 0.01,
+        seed: int = 0,
+        width: int | None = None,
+    ):
+        depth = max(3, math.ceil(math.log(max(expected_length, 2) / delta)))
+        self._sketch = AMSSketch(
+            width=width or self.DEFAULT_WIDTH, depth=depth, seed=seed
+        )
+
+    def update(self, item: int, count: int = 1) -> None:
+        """Feed one stream update."""
+        self._sketch.update(item, count)
+
+    def estimate(self) -> float:
+        """Current estimate of ``||f_t||_2`` (0.0 for the empty stream)."""
+        return self._sketch.l2_norm()
+
+    def words(self) -> int:
+        """Size of the tracker in machine words."""
+        return self._sketch.words()

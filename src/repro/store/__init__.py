@@ -1,0 +1,20 @@
+"""A small multiversion stream-store built on the persistent sketches.
+
+The paper closes by envisioning "multiversion data stream systems" the
+way persistent data structures enabled multiversion databases.  This
+package is that vision in miniature:
+
+* :class:`~repro.store.sharded.ShardedPersistentSketch` — time-partitioned
+  ingestion (one persistent sketch per fixed-width time shard, like the
+  segments of a timeseries store), with retention (`drop_before`) and
+  cross-shard window queries.
+* :class:`~repro.store.store.SketchStore` — a facade managing named
+  streams, each with a persistent point sketch, an optional heavy-hitter
+  hierarchy and an optional join sketch (hash-shared store-wide), plus
+  directory-level save/open built on :mod:`repro.io`.
+"""
+
+from repro.store.sharded import ShardedPersistentSketch
+from repro.store.store import SketchStore, StreamSpec
+
+__all__ = ["ShardedPersistentSketch", "SketchStore", "StreamSpec"]

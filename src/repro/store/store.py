@@ -1,0 +1,336 @@
+"""A facade managing persistent sketches for many named streams.
+
+``SketchStore`` is the "multiversion data stream system" front door: you
+declare what each stream should support (point queries and heavy hitters
+always; join sizes optionally), feed updates by stream name, and query
+any past window.  Join-enabled streams automatically share hash
+functions store-wide (the Section 4.1 prerequisite), so the join size of
+any two of them is queryable.  The whole store round-trips through a
+directory of sketch archives via :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.heavy_hitters import PersistentHeavyHitters
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin
+from repro.io import load as load_sketch
+from repro.io import save as save_sketch
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Declarative configuration of one stream's sketches.
+
+    Attributes
+    ----------
+    name:
+        Stream identifier (must be unique within the store).
+    delta:
+        Persistence error for all of this stream's sketches.
+    universe:
+        Required when ``heavy_hitters`` is enabled (sizes the dyadic
+        hierarchy); items must lie in ``[0, universe)``.
+    heavy_hitters:
+        Maintain the dyadic hierarchy for window heavy hitters / top-k.
+    joinable:
+        Maintain a sampling-based persistent AMS sketch sharing the
+        store-wide hash seed, enabling join sizes with every other
+        joinable stream (and window self-joins).
+    quantiles:
+        Answer window rank/quantile queries.  Shares the heavy-hitter
+        hierarchy when both are enabled (they use the identical index).
+    """
+
+    name: str
+    delta: float
+    universe: int | None = None
+    heavy_hitters: bool = False
+    joinable: bool = False
+    quantiles: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ValueError(f"invalid stream name {self.name!r}")
+        if (self.heavy_hitters or self.quantiles) and self.universe is None:
+            raise ValueError(
+                f"stream {self.name!r}: heavy_hitters/quantiles require "
+                "a universe"
+            )
+
+
+class _StreamState:
+    __slots__ = ("spec", "point_sketch", "hh_sketch", "join_sketch")
+
+    def __init__(self, spec, point_sketch, hh_sketch, join_sketch):
+        self.spec = spec
+        self.point_sketch = point_sketch
+        self.hh_sketch = hh_sketch
+        self.join_sketch = join_sketch
+
+
+class SketchStore:
+    """Persistent sketches for many named streams, one facade.
+
+    Parameters
+    ----------
+    width, depth:
+        Shape of every point/heavy-hitter sketch.
+    join_width:
+        Shape of the join (AMS) sketches; ``O(1/eps^2)`` semantics, so
+        typically wider than ``width``.
+    seed:
+        Store-wide hash seed; all joinable streams share it.
+    """
+
+    def __init__(
+        self,
+        width: int = 2048,
+        depth: int = 5,
+        join_width: int = 4096,
+        seed: int = 0,
+    ):
+        self.width = width
+        self.depth = depth
+        self.join_width = join_width
+        self.seed = seed
+        self._streams: dict[str, _StreamState] = {}
+
+    # ------------------------------------------------------------------ #
+    # Stream management
+    # ------------------------------------------------------------------ #
+
+    def create(self, spec: StreamSpec) -> None:
+        """Register a stream and build its sketches."""
+        if spec.name in self._streams:
+            raise ValueError(f"stream {spec.name!r} already exists")
+        point_sketch = PersistentCountMin(
+            width=self.width,
+            depth=self.depth,
+            delta=spec.delta,
+            seed=self.seed,
+        )
+        hh_sketch = (
+            PersistentHeavyHitters(
+                universe=spec.universe,
+                width=self.width,
+                depth=self.depth,
+                delta=spec.delta,
+                seed=self.seed + 1,
+            )
+            if spec.heavy_hitters or spec.quantiles
+            else None
+        )
+        join_sketch = (
+            PersistentAMS(
+                width=self.join_width,
+                depth=self.depth,
+                delta=spec.delta,
+                seed=self.seed,  # shared: mandatory for cross-stream joins
+                independent_copies=2,
+                sampling_seed=hash(spec.name) & 0x7FFFFFFF,
+            )
+            if spec.joinable
+            else None
+        )
+        self._streams[spec.name] = _StreamState(
+            spec, point_sketch, hh_sketch, join_sketch
+        )
+
+    def streams(self) -> list[str]:
+        """Names of all registered streams."""
+        return sorted(self._streams)
+
+    def _state(self, name: str) -> _StreamState:
+        state = self._streams.get(name)
+        if state is None:
+            raise KeyError(f"unknown stream {name!r}")
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def update(
+        self, name: str, item: int, count: int = 1, time: int | None = None
+    ) -> None:
+        """Feed one update into every sketch of stream ``name``.
+
+        When ``time`` is omitted each sketch advances its own clock;
+        mixing omitted and explicit times is rejected by the sketches'
+        monotonicity checks.
+        """
+        state = self._state(name)
+        state.point_sketch.update(item, count, time)
+        if state.hh_sketch is not None:
+            state.hh_sketch.update(item, count, time)
+        if state.join_sketch is not None:
+            state.join_sketch.update(item, count, time)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def point(
+        self, name: str, item: int, s: float = 0, t: float | None = None
+    ) -> float:
+        """Window frequency estimate for ``item`` in stream ``name``."""
+        return self._state(name).point_sketch.point(item, s, t)
+
+    def heavy_hitters(
+        self, name: str, phi: float, s: float = 0, t: float | None = None
+    ) -> dict[int, float]:
+        """Window heavy hitters of stream ``name`` (requires the spec
+        to enable them)."""
+        state = self._state(name)
+        if not state.spec.heavy_hitters or state.hh_sketch is None:
+            raise ValueError(
+                f"stream {name!r} was not created with heavy_hitters=True"
+            )
+        return state.hh_sketch.heavy_hitters(phi, s, t)
+
+    def top_k(
+        self, name: str, k: int, s: float = 0, t: float | None = None
+    ) -> list[tuple[int, float]]:
+        """Window top-k of stream ``name``."""
+        state = self._state(name)
+        if not state.spec.heavy_hitters or state.hh_sketch is None:
+            raise ValueError(
+                f"stream {name!r} was not created with heavy_hitters=True"
+            )
+        return state.hh_sketch.top_k(k, s, t)
+
+    def quantile(
+        self, name: str, phi: float, s: float = 0, t: float | None = None
+    ) -> int:
+        """Window ``phi``-quantile of stream ``name``'s values."""
+        return self._quantiles(name).quantile(phi, s, t)
+
+    def rank(
+        self, name: str, value: int, s: float = 0, t: float | None = None
+    ) -> float:
+        """Estimated number of window elements ``<= value``."""
+        return self._quantiles(name).rank(value, s, t)
+
+    def _quantiles(self, name: str):
+        from repro.core.quantiles import PersistentQuantiles
+
+        state = self._state(name)
+        if not state.spec.quantiles or state.hh_sketch is None:
+            raise ValueError(
+                f"stream {name!r} was not created with quantiles=True"
+            )
+        return PersistentQuantiles(hierarchy=state.hh_sketch)
+
+    def self_join_size(
+        self, name: str, s: float = 0, t: float | None = None
+    ) -> float:
+        """Window second frequency moment of stream ``name``."""
+        state = self._state(name)
+        if state.join_sketch is None:
+            raise ValueError(
+                f"stream {name!r} was not created with joinable=True"
+            )
+        return state.join_sketch.self_join_size(s, t)
+
+    def join_size(
+        self, left: str, right: str, s: float = 0, t: float | None = None
+    ) -> float:
+        """Window join size between two joinable streams."""
+        left_state, right_state = self._state(left), self._state(right)
+        if left_state.join_sketch is None or right_state.join_sketch is None:
+            raise ValueError(
+                "both streams must be created with joinable=True"
+            )
+        return left_state.join_sketch.join_size(right_state.join_sketch, s, t)
+
+    def persistence_words(self) -> int:
+        """Total persistence space across all streams and sketches."""
+        total = 0
+        for state in self._streams.values():
+            total += state.point_sketch.persistence_words()
+            if state.hh_sketch is not None:
+                total += state.hh_sketch.persistence_words()
+            if state.join_sketch is not None:
+                total += state.join_sketch.persistence_words()
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+
+    def save(self, directory: str | Path) -> Path:
+        """Write the store to ``directory`` (created if missing)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format": "repro-store",
+            "version": 1,
+            "width": self.width,
+            "depth": self.depth,
+            "join_width": self.join_width,
+            "seed": self.seed,
+            "streams": [],
+        }
+        for name, state in sorted(self._streams.items()):
+            entry = {
+                "name": name,
+                "delta": state.spec.delta,
+                "universe": state.spec.universe,
+                "heavy_hitters": state.spec.heavy_hitters,
+                "joinable": state.spec.joinable,
+                "quantiles": state.spec.quantiles,
+            }
+            save_sketch(state.point_sketch, directory / f"{name}.point.json.gz")
+            if state.hh_sketch is not None:
+                save_sketch(state.hh_sketch, directory / f"{name}.hh.json.gz")
+            if state.join_sketch is not None:
+                save_sketch(
+                    state.join_sketch, directory / f"{name}.join.json.gz"
+                )
+            manifest["streams"].append(entry)
+        (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        return directory
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "SketchStore":
+        """Load a store previously written by :meth:`save`."""
+        directory = Path(directory)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        if manifest.get("format") != "repro-store":
+            raise ValueError(f"{directory} is not a sketch store")
+        store = cls(
+            width=manifest["width"],
+            depth=manifest["depth"],
+            join_width=manifest["join_width"],
+            seed=manifest["seed"],
+        )
+        for entry in manifest["streams"]:
+            name = entry["name"]
+            spec = StreamSpec(
+                name=name,
+                delta=entry["delta"],
+                universe=entry["universe"],
+                heavy_hitters=entry["heavy_hitters"],
+                joinable=entry["joinable"],
+                quantiles=entry.get("quantiles", False),
+            )
+            point_sketch = load_sketch(directory / f"{name}.point.json.gz")
+            hh_sketch = (
+                load_sketch(directory / f"{name}.hh.json.gz")
+                if spec.heavy_hitters or spec.quantiles
+                else None
+            )
+            join_sketch = (
+                load_sketch(directory / f"{name}.join.json.gz")
+                if entry["joinable"]
+                else None
+            )
+            store._streams[name] = _StreamState(
+                spec, point_sketch, hh_sketch, join_sketch
+            )
+        return store

@@ -1,0 +1,26 @@
+"""Stream model, synthetic workload generators, and exact ground truth.
+
+The paper's experiments use one synthetic and two real-trace workloads
+(Section 6.1).  The real 1998 World Cup access log is not redistributable
+offline, so :mod:`repro.streams.worldcup` generates synthetic traces that
+match the paper's description of each attribute stream; see DESIGN.md
+section 3 for the substitution argument.
+"""
+
+from repro.streams.generators import (
+    uniform_stream,
+    zipf_stream,
+)
+from repro.streams.model import Stream, Update
+from repro.streams.truth import GroundTruth
+from repro.streams.worldcup import client_id_stream, object_id_stream
+
+__all__ = [
+    "Update",
+    "Stream",
+    "zipf_stream",
+    "uniform_stream",
+    "client_id_stream",
+    "object_id_stream",
+    "GroundTruth",
+]

@@ -1,0 +1,104 @@
+"""Synthetic stream generators.
+
+``zipf_stream`` reproduces the paper's ``Zipf_3`` workload: items drawn
+i.i.d. from a Zipf distribution with coefficient 3 over a universe of
+``2^24`` (Section 6.1).  ``uniform_stream`` draws items uniformly; both
+are instances of the paper's *random stream model* (Definition 3.1), under
+which Theorem 3.3's ``O(m / Delta^2)`` PLA space bound holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.model import Stream
+
+#: Universe size used by the paper's synthetic experiments.
+PAPER_UNIVERSE = 2**24
+
+
+def zipf_stream(
+    length: int,
+    universe: int = PAPER_UNIVERSE,
+    exponent: float = 3.0,
+    seed: int = 0,
+) -> Stream:
+    """The paper's ``Zipf_3`` workload (Section 6.1).
+
+    Items are ranks drawn from a truncated Zipf law with the given
+    exponent, then shuffled through a fixed permutation of the universe so
+    the popular items are not simply ``0, 1, 2, ...``.
+
+    Parameters
+    ----------
+    length:
+        Number of updates ``m`` (the paper uses 10^6).
+    universe:
+        Universe size ``n`` (the paper uses ``2^24``).
+    exponent:
+        Zipf coefficient (the paper uses 3 — highly skewed).
+    seed:
+        RNG seed; streams are fully reproducible.
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    rng = np.random.default_rng(seed)
+    # Truncated Zipf via inverse-CDF over the first `support` ranks.  With
+    # exponent > 1 the tail mass beyond a few thousand ranks is negligible,
+    # so a bounded support keeps memory flat without changing the law.
+    support = min(universe, 100_000)
+    ranks = np.arange(1, support + 1, dtype=np.float64)
+    pmf = ranks**-exponent
+    pmf /= pmf.sum()
+    cdf = np.cumsum(pmf)
+    draws = np.searchsorted(cdf, rng.random(length), side="right")
+    # Scatter ranks over the universe with a seeded affine permutation so
+    # bucket hashes see "random looking" identifiers.
+    scatter = rng.permutation(support).astype(np.int64)
+    stride = universe // max(support, 1) or 1
+    items = (scatter[draws] * stride + 17) % universe
+    return Stream(items=items, universe=universe)
+
+
+def uniform_stream(
+    length: int, universe: int = PAPER_UNIVERSE, seed: int = 0
+) -> Stream:
+    """Items drawn uniformly at random from the universe."""
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    rng = np.random.default_rng(seed)
+    items = rng.integers(0, universe, size=length, dtype=np.int64)
+    return Stream(items=items, universe=universe)
+
+
+def turnstile_stream(
+    length: int,
+    universe: int = 1024,
+    deletion_probability: float = 0.3,
+    seed: int = 0,
+) -> Stream:
+    """A random turnstile stream (Definition 3.1's generalization).
+
+    Inserts uniform items; with the given probability an update instead
+    deletes an element previously inserted (keeping frequencies
+    non-negative, as the cash-register-compatible turnstile model of the
+    paper assumes).
+    """
+    if not 0 <= deletion_probability < 1:
+        raise ValueError("deletion_probability must lie in [0, 1)")
+    rng = np.random.default_rng(seed)
+    live: list[int] = []
+    items = np.empty(length, dtype=np.int64)
+    counts = np.empty(length, dtype=np.int64)
+    for pos in range(length):
+        if live and rng.random() < deletion_probability:
+            idx = int(rng.integers(len(live)))
+            live[idx], live[-1] = live[-1], live[idx]
+            items[pos] = live.pop()
+            counts[pos] = -1
+        else:
+            item = int(rng.integers(0, universe))
+            live.append(item)
+            items[pos] = item
+            counts[pos] = 1
+    return Stream(items=items, counts=counts, universe=universe)

@@ -1,0 +1,95 @@
+"""Multiplexing several sources onto one stream time axis.
+
+Real deployments ingest from several collectors at once; the sketches
+need a single strictly increasing time axis per stream.  These utilities
+merge time-stamped sources by time (stable across sources) and re-tick
+them onto the discrete axis the paper's model uses, keeping a mapping
+back to the original wall-clock times for display.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streams.model import Stream
+
+
+@dataclass(frozen=True)
+class TickMapping:
+    """Bidirectional mapping between wall-clock times and ticks.
+
+    Ticks are 1-based positions in the merged stream; several events may
+    share one wall-clock second but each gets its own tick (the paper's
+    discrete model).  ``tick_for(wall_time)`` returns the last tick whose
+    event happened at or before ``wall_time`` — the right boundary to
+    use when translating a wall-clock window into a tick window.
+    """
+
+    wall_times: np.ndarray
+
+    def tick_for(self, wall_time: float) -> int:
+        """Last tick at or before ``wall_time`` (0 = before everything)."""
+        return int(np.searchsorted(self.wall_times, wall_time, side="right"))
+
+    def wall_for(self, tick: int) -> int:
+        """Wall-clock time of a tick."""
+        if not 1 <= tick <= len(self.wall_times):
+            raise ValueError(
+                f"tick {tick} out of range [1, {len(self.wall_times)}]"
+            )
+        return int(self.wall_times[tick - 1])
+
+    def window(self, wall_s: float, wall_t: float) -> tuple[int, int]:
+        """Translate a wall-clock window ``(wall_s, wall_t]`` to ticks."""
+        return self.tick_for(wall_s), self.tick_for(wall_t)
+
+
+def merge_sources(
+    sources: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[Stream, TickMapping]:
+    """Merge ``(wall_times, items)`` sources into one re-ticked stream.
+
+    Each source's wall times must be non-decreasing; the merge is stable
+    (ties broken by source order, then position).  Returns the merged
+    stream on the tick axis plus the :class:`TickMapping`.
+    """
+    if not sources:
+        return Stream(items=[]), TickMapping(np.array([], dtype=np.int64))
+    walls = []
+    items = []
+    for idx, (source_times, source_items) in enumerate(sources):
+        source_times = np.asarray(source_times, dtype=np.int64)
+        source_items = np.asarray(source_items, dtype=np.int64)
+        if len(source_times) != len(source_items):
+            raise ValueError(f"source {idx}: times/items length mismatch")
+        if len(source_times) > 1 and (np.diff(source_times) < 0).any():
+            raise ValueError(f"source {idx}: wall times must be non-decreasing")
+        walls.append(source_times)
+        items.append(source_items)
+    all_walls = np.concatenate(walls)
+    all_items = np.concatenate(items)
+    order = np.argsort(all_walls, kind="stable")
+    merged_walls = all_walls[order]
+    merged_items = all_items[order]
+    stream = Stream(items=merged_items)  # ticks 1..n
+    return stream, TickMapping(wall_times=merged_walls)
+
+
+def split_window_by_wall_time(
+    mapping: TickMapping, boundaries: list[int]
+) -> list[tuple[int, int]]:
+    """Tick windows for consecutive wall-clock boundary pairs.
+
+    ``boundaries = [b0, b1, ..., bk]`` yields the tick windows of
+    ``(b0, b1], (b1, b2], ...`` — e.g. hourly slices of a day.
+    """
+    if len(boundaries) < 2:
+        raise ValueError("need at least two boundaries")
+    if any(a > b for a, b in zip(boundaries, boundaries[1:])):
+        raise ValueError("boundaries must be non-decreasing")
+    return [
+        mapping.window(a, b) for a, b in zip(boundaries, boundaries[1:])
+    ]

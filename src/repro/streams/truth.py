@@ -1,0 +1,125 @@
+"""Exact answers to historical window queries, for evaluation and tests.
+
+Ground truth stores, per element, the sorted array of its arrival times and
+the running (cumulative) count, so any ``f_i(s, t]`` is two binary
+searches.  This is linear space — exactly the cost the persistent sketches
+exist to avoid — and is used only to *measure* their error.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+import numpy as np
+
+from repro.streams.model import Stream
+
+
+class GroundTruth:
+    """Exact historical-window query answers for one stream."""
+
+    def __init__(self, stream: Stream):
+        self._all_times = np.asarray(stream.times, dtype=np.int64)
+        self._all_counts = np.asarray(stream.counts, dtype=np.int64)
+        self._cash_register = bool((self._all_counts == 1).all())
+        self._per_item: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._build(stream)
+        self.end_time = stream.end_time
+
+    def _build(self, stream: Stream) -> None:
+        items = np.asarray(stream.items, dtype=np.int64)
+        if len(items) == 0:
+            return
+        order = np.argsort(items, kind="stable")
+        s_items = items[order]
+        s_times = self._all_times[order]
+        s_counts = self._all_counts[order]
+        boundaries = np.flatnonzero(np.diff(s_items)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(items)]))
+        for lo, hi in zip(starts, ends):
+            item = int(s_items[lo])
+            times = s_times[lo:hi]
+            cums = np.cumsum(s_counts[lo:hi])
+            self._per_item[item] = (times, cums)
+
+    # ------------------------------------------------------------------ #
+    # Window queries (s, t]
+    # ------------------------------------------------------------------ #
+
+    def frequency(self, item: int, s: float = 0, t: float | None = None) -> int:
+        """Exact ``f_item(s, t]``; ``t`` defaults to the end of the stream."""
+        if t is None:
+            t = self.end_time
+        entry = self._per_item.get(item)
+        if entry is None:
+            return 0
+        times, cums = entry
+        hi = int(np.searchsorted(times, t, side="right"))
+        lo = int(np.searchsorted(times, s, side="right"))
+        high = int(cums[hi - 1]) if hi > 0 else 0
+        low = int(cums[lo - 1]) if lo > 0 else 0
+        return high - low
+
+    def window_l1(self, s: float = 0, t: float | None = None) -> int:
+        """Exact ``||f_{s,t}||_1``."""
+        if t is None:
+            t = self.end_time
+        if self._cash_register:
+            hi = int(np.searchsorted(self._all_times, t, side="right"))
+            lo = int(np.searchsorted(self._all_times, s, side="right"))
+            return hi - lo
+        return sum(
+            abs(self.frequency(item, s, t)) for item in self._per_item
+        )
+
+    def self_join_size(self, s: float = 0, t: float | None = None) -> int:
+        """Exact ``||f_{s,t}||_2^2``."""
+        return sum(
+            self.frequency(item, s, t) ** 2 for item in self._per_item
+        )
+
+    def join_size(
+        self, other: "GroundTruth", s: float = 0, t: float | None = None
+    ) -> int:
+        """Exact ``<f_{s,t}, g_{s,t}>`` with another stream's truth."""
+        small, large = (
+            (self, other)
+            if len(self._per_item) <= len(other._per_item)
+            else (other, self)
+        )
+        return sum(
+            small.frequency(item, s, t) * large.frequency(item, s, t)
+            for item in small._per_item
+            if item in large._per_item
+        )
+
+    def heavy_hitters(
+        self, phi: float, s: float = 0, t: float | None = None
+    ) -> dict[int, int]:
+        """Items with ``f_i(s, t) >= phi * ||f_{s,t}||_1``."""
+        threshold = phi * self.window_l1(s, t)
+        result: dict[int, int] = {}
+        for item in self._per_item:
+            freq = self.frequency(item, s, t)
+            if freq >= threshold and freq > 0:
+                result[item] = freq
+        return result
+
+    def top_k(
+        self, k: int, s: float = 0, t: float | None = None
+    ) -> list[tuple[int, int]]:
+        """The ``k`` most frequent items in the window, descending."""
+        freqs = (
+            (self.frequency(item, s, t), item) for item in self._per_item
+        )
+        best = heapq.nlargest(k, freqs)
+        return [(item, freq) for freq, item in best if freq > 0]
+
+    def items(self) -> Iterable[int]:
+        """All items that ever appeared in the stream."""
+        return self._per_item.keys()
+
+    def __len__(self) -> int:
+        return len(self._per_item)

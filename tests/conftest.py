@@ -1,0 +1,25 @@
+"""Shared test fixtures: small deterministic streams and truths."""
+
+import pytest
+
+from repro.streams.generators import zipf_stream
+from repro.streams.model import Stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="session")
+def small_zipf() -> Stream:
+    """A small, highly skewed stream shared across read-only tests."""
+    return zipf_stream(5000, universe=2**20, exponent=2.0, seed=123)
+
+
+@pytest.fixture(scope="session")
+def small_zipf_truth(small_zipf) -> GroundTruth:
+    return GroundTruth(small_zipf)
+
+
+@pytest.fixture()
+def tiny_stream() -> Stream:
+    """Ten updates with known frequencies: 1 x4, 2 x3, 3 x2, 4 x1."""
+    items = [1, 2, 1, 3, 1, 2, 4, 1, 2, 3]
+    return Stream(items=items, universe=8)

@@ -1,0 +1,118 @@
+"""Adversarial and boundary-condition behaviour.
+
+The paper's Section 3.3 concedes the PLA space bound degrades to the
+baseline's on adversarial inputs; these tests pin down that worst case,
+plus extreme parameters and hostile time patterns that a production
+deployment would eventually see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin, PWCCountMin
+from repro.pla.orourke import OnlinePLA
+from repro.streams.model import Stream
+
+
+class TestAdversarialStreams:
+    def test_pla_worst_case_sawtooth(self):
+        """A turnstile sawtooth of amplitude >> delta forces a segment
+        every O(delta) updates — the worst case of Section 3.3."""
+        delta = 5.0
+        pla = OnlinePLA(delta=delta)
+        v = 0.0
+        m = 4000
+        amplitude = 40
+        for t in range(1, m + 1):
+            direction = 1 if (t // amplitude) % 2 == 0 else -1
+            v += direction
+            pla.feed(t, v)
+        segments = len(pla.finalize())
+        # Within a constant of m / (2 * delta); certainly Omega(m/100).
+        assert segments >= m / 100
+        assert segments <= 2 * m / delta
+
+    def test_pla_adversarial_equals_baseline_order(self):
+        """On the sawtooth, PLA's space advantage over PWC disappears
+        (both are Theta(m / delta)) — the paper's stated limitation."""
+        m, delta = 4000, 5
+        items = np.zeros(m, dtype=np.int64)
+        # Zigzag legs just longer than the 2*delta tube: every leg turn
+        # breaks the line fit.
+        counts = np.where((np.arange(m) // 12) % 2 == 0, 1, -1)
+        stream = Stream(items=items, counts=counts)
+        pla = PersistentCountMin(width=4, depth=1, delta=delta)
+        pwc = PWCCountMin(width=4, depth=1, delta=delta)
+        pla.ingest(stream)
+        pwc.ingest(stream)
+        pla.finalize()
+        assert pla.persistence_words() >= pwc.persistence_words() / 4
+
+    def test_single_item_hammering(self):
+        """One key, every tick: the most concentrated possible stream."""
+        sketch = PersistentCountMin(width=64, depth=3, delta=10)
+        for t in range(1, 5001):
+            sketch.update(42, time=t)
+        assert sketch.point(42, 0, 5000) == pytest.approx(5000, abs=25)
+        assert sketch.point(42, 2499, 2500) == pytest.approx(1, abs=25)
+
+
+class TestExtremeParameters:
+    def test_width_one(self):
+        """Everything collides: estimates become the window mass."""
+        sketch = PersistentCountMin(width=1, depth=2, delta=4)
+        for t, item in enumerate([1, 2, 3, 4], start=1):
+            sketch.update(item, time=t)
+        assert sketch.point(1, 0, 4) == pytest.approx(4, abs=5)
+
+    def test_tiny_delta(self):
+        sketch = PersistentCountMin(width=64, depth=2, delta=0.25)
+        for t in range(1, 101):
+            sketch.update(5, time=t)
+        assert sketch.point(5, 0, 100) == pytest.approx(100, abs=1.5)
+
+    def test_huge_delta(self):
+        """Delta larger than the stream: everything fits one line; the
+        answer error is bounded by delta as promised, no more."""
+        sketch = PersistentCountMin(width=64, depth=2, delta=10_000)
+        for t in range(1, 101):
+            sketch.update(5, time=t)
+        assert abs(sketch.point(5, 0, 100) - 100) <= 10_000
+        assert sketch.persistence_words() == 0
+
+    def test_sample_probability_clamps(self):
+        sketch = PersistentAMS(width=16, depth=2, delta=1.0)
+        assert sketch.probability == 1.0  # records everything
+        for t in range(1, 51):
+            sketch.update(3, time=t)
+        assert sketch.point(3, 0, 50) == pytest.approx(50, abs=1)
+
+
+class TestHostileTimePatterns:
+    def test_huge_time_gaps(self):
+        """Years of silence between updates must not hurt precision."""
+        sketch = PersistentCountMin(width=64, depth=3, delta=2)
+        times = [1, 10**6, 10**9, 10**12]
+        for t in times:
+            sketch.update(9, time=t)
+        for idx, t in enumerate(times, start=1):
+            assert sketch.point(9, 0, t) == pytest.approx(idx, abs=3)
+        # Mid-gap queries hold the last value.
+        assert sketch.point(9, 0, 10**7) == pytest.approx(2, abs=3)
+
+    def test_burst_then_silence(self):
+        sketch = PersistentAMS(width=64, depth=3, delta=2)
+        for t in range(1, 201):
+            sketch.update(4, time=t)
+        sketch.update(5, time=10**9)
+        assert sketch.point(4, 0, 10**8) == pytest.approx(200, abs=20)
+
+    def test_interleaved_keys_alternating(self):
+        """Two keys strictly alternating: each counter sees every other
+        tick, exercising gap handling inside runs."""
+        sketch = PersistentCountMin(width=128, depth=3, delta=3)
+        for t in range(1, 2001):
+            sketch.update(t % 2, time=t)
+        assert sketch.point(0, 0, 2000) == pytest.approx(1000, abs=10)
+        assert sketch.point(1, 500, 1500) == pytest.approx(500, abs=10)

@@ -1,0 +1,58 @@
+"""Tests for the fractional-cascading query path of the persistent AMS."""
+
+import pytest
+
+from repro.core.join import make_ams_pair
+from repro.core.persistent_ams import PersistentAMS
+from repro.streams.generators import zipf_stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def sketch_and_truth():
+    stream = zipf_stream(6000, universe=2**18, exponent=1.5, seed=71)
+    sketch = PersistentAMS(width=512, depth=5, delta=15, seed=8)
+    sketch.ingest(stream)
+    return sketch, GroundTruth(stream)
+
+
+class TestEquivalence:
+    def test_self_join_identical_with_and_without_timeline(
+        self, sketch_and_truth
+    ):
+        """The cascading path is an optimization: answers are identical
+        to the binary-search path, bit for bit."""
+        sketch, _ = sketch_and_truth
+        windows = [(0, 6000), (1200, 4800), (5000, 6000), (0, 1)]
+        baseline = [sketch.self_join_size(s, t) for s, t in windows]
+        sketch.build_timeline()
+        accelerated = [sketch.self_join_size(s, t) for s, t in windows]
+        assert accelerated == baseline
+
+    def test_join_identical_with_timeline(self):
+        stream_f = zipf_stream(3000, universe=2**16, exponent=1.5, seed=72)
+        stream_g = zipf_stream(3000, universe=2**16, exponent=1.5, seed=72)
+        f, g = make_ams_pair(width=512, depth=4, delta_f=10, seed=9)
+        f.ingest(stream_f)
+        g.ingest(stream_g)
+        windows = [(0, 3000), (500, 2500)]
+        baseline = [f.join_size(g, s, t) for s, t in windows]
+        f.build_timeline()
+        g.build_timeline()
+        accelerated = [f.join_size(g, s, t) for s, t in windows]
+        assert accelerated == baseline
+
+    def test_stale_timeline_falls_back(self, sketch_and_truth):
+        sketch, _ = sketch_and_truth
+        sketch.build_timeline()
+        assert sketch._timeline_fresh()
+        sketch.update(12345)
+        assert not sketch._timeline_fresh()
+        # Query still answers correctly via the fallback path.
+        value = sketch.self_join_size(0, sketch.now)
+        assert value > 0
+
+    def test_rebuild_after_updates(self, sketch_and_truth):
+        sketch, _ = sketch_and_truth
+        sketch.build_timeline()
+        assert sketch._timeline_fresh()

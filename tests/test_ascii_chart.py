@@ -1,0 +1,44 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.eval.ascii_chart import render_chart
+
+
+class TestRenderChart:
+    def test_basic_shape(self):
+        chart = render_chart(
+            [1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]},
+            width=30, height=8,
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 8 + 3  # grid + axis + x range + legend
+        assert "o=a" in lines[-1]
+        assert "x=b" in lines[-1]
+
+    def test_marks_present(self):
+        chart = render_chart([1, 10], {"s": [5, 50]}, log_x=True, log_y=True)
+        assert "o" in chart
+        assert "1e" in chart  # log-scale tick labels
+
+    def test_drops_nonpositive_on_log_axis(self):
+        chart = render_chart([1, 2], {"s": [0, 10]}, log_y=True)
+        # The zero point vanishes; one mark remains in the grid (the
+        # legend line also carries the mark, hence splitting it off).
+        grid = "\n".join(chart.splitlines()[:-1])
+        assert grid.count("o") == 1
+
+    def test_constant_series(self):
+        chart = render_chart([1, 2], {"s": [5, 5]})
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            render_chart([1, 2], {"s": [1]})
+
+    def test_all_unplottable(self):
+        assert render_chart([0], {"s": [0]}, log_x=True, log_y=True) == (
+            "(no plottable points)"
+        )

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+import repro.cli as cli
+
+
+class TestExperimentDispatch:
+    def test_legacy_shortcut_and_subcommand(self, monkeypatch):
+        calls = []
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "fig3",
+            (lambda ds: calls.append(("fig3", ds)), True),
+        )
+        assert cli.main(["fig3", "--dataset", "Zipf_3"]) == 0
+        assert cli.main(["experiment", "fig3", "--dataset", "Zipf_3"]) == 0
+        assert calls == [("fig3", "Zipf_3")] * 2
+
+    def test_all_datasets_by_default(self, monkeypatch):
+        calls = []
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "fig4",
+            (lambda ds: calls.append(ds), True),
+        )
+        assert cli.main(["fig4"]) == 0
+        assert calls == ["ClientID", "ObjectID", "Zipf_3"]
+
+    def test_dataset_free_experiment(self, monkeypatch):
+        calls = []
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "table1", (lambda: calls.append("t1"), False)
+        )
+        assert cli.main(["table1"]) == 0
+        assert calls == ["t1"]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["nope"])
+
+
+class TestPipeline:
+    def test_synth_build_query(self, tmp_path, capsys):
+        log = tmp_path / "day.log"
+        archive = tmp_path / "urls.sketch.gz"
+        assert cli.main(["synth", str(log), "--length", "2000"]) == 0
+        assert log.stat().st_size == 2000 * 20
+        assert (
+            cli.main(
+                [
+                    "build", str(log), str(archive),
+                    "--attribute", "object_id",
+                    "--width", "256", "--depth", "3", "--delta", "10",
+                ]
+            )
+            == 0
+        )
+        assert archive.exists()
+        capsys.readouterr()
+        # Find a real item to query.
+        from repro.streams.logs import read_worldcup_log
+
+        item = next(iter(read_worldcup_log(log))).object_id
+        assert (
+            cli.main(
+                ["query", str(archive), "point", "--item", str(item)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"f_{item}" in out
+
+    def test_build_from_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "log.csv"
+        csv_path.write_text("key\n1\n2\n1\n")
+        archive = tmp_path / "s.json"
+        assert (
+            cli.main(
+                [
+                    "build", str(csv_path), str(archive),
+                    "--csv-column", "key",
+                    "--width", "64", "--depth", "2", "--delta", "4",
+                ]
+            )
+            == 0
+        )
+        assert cli.main(
+            ["query", str(archive), "point", "--item", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "f_1" in out
+
+    def test_ams_build_and_self_join(self, tmp_path, capsys):
+        csv_path = tmp_path / "log.csv"
+        csv_path.write_text("key\n" + "\n".join("12" for _ in range(50)) + "\n")
+        archive = tmp_path / "a.json"
+        assert (
+            cli.main(
+                [
+                    "build", str(csv_path), str(archive),
+                    "--csv-column", "key", "--kind", "ams",
+                    "--width", "64", "--depth", "3", "--delta", "2",
+                ]
+            )
+            == 0
+        )
+        assert cli.main(["query", str(archive), "self_join"]) == 0
+        out = capsys.readouterr().out
+        assert "F2" in out
+
+    def test_point_query_requires_item(self, tmp_path):
+        csv_path = tmp_path / "log.csv"
+        csv_path.write_text("key\n1\n")
+        archive = tmp_path / "s.json"
+        cli.main(
+            [
+                "build", str(csv_path), str(archive), "--csv-column", "key",
+                "--width", "16", "--depth", "2", "--delta", "2",
+            ]
+        )
+        with pytest.raises(SystemExit):
+            cli.main(["query", str(archive), "point"])

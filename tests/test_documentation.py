@@ -1,0 +1,57 @@
+"""Quality gate: every public item in the library is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        yield importlib.import_module(module_info.name)
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their origin
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+def test_all_modules_have_docstrings():
+    undocumented = [
+        module.__name__ for module in iter_modules() if not module.__doc__
+    ]
+    assert undocumented == []
+
+
+def test_all_public_classes_and_functions_documented():
+    undocumented = []
+    for module in iter_modules():
+        for name, obj in public_members(module):
+            if not inspect.getdoc(obj):
+                undocumented.append(f"{module.__name__}.{name}")
+    assert undocumented == []
+
+
+def test_all_public_methods_documented():
+    undocumented = []
+    for module in iter_modules():
+        for class_name, cls in public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for name, member in vars(cls).items():
+                if name.startswith("_"):
+                    continue
+                if inspect.isfunction(member) and not inspect.getdoc(member):
+                    undocumented.append(
+                        f"{module.__name__}.{class_name}.{name}"
+                    )
+    assert undocumented == []

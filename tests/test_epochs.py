@@ -1,0 +1,71 @@
+"""Tests for the epoch manager (Section 5)."""
+
+import pytest
+
+from repro.persistence.epochs import EpochManager
+
+
+class TestValidation:
+    def test_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            EpochManager(factor=1.0)
+
+    def test_epoch_at_before_observations(self):
+        with pytest.raises(ValueError):
+            EpochManager().epoch_at(5)
+
+
+class TestDoublingRule:
+    def test_first_observation_starts_epoch(self):
+        manager = EpochManager()
+        epoch = manager.observe(1, 1.0)
+        assert epoch is not None
+        assert epoch.index == 0
+        assert manager.current is epoch
+
+    def test_epoch_boundaries_on_doubling(self):
+        manager = EpochManager(factor=2.0)
+        manager.observe(1, 1.0)
+        boundaries = []
+        for t in range(2, 200):
+            if manager.observe(t, float(t)) is not None:
+                boundaries.append(t)
+        # Norm = t doubles at 2, 4, 8, ... relative to each epoch start.
+        assert boundaries == [2, 4, 8, 16, 32, 64, 128]
+
+    def test_epoch_on_halving(self):
+        manager = EpochManager(factor=2.0)
+        manager.observe(1, 100.0)
+        assert manager.observe(2, 60.0) is None
+        epoch = manager.observe(3, 50.0)
+        assert epoch is not None
+        assert epoch.start_norm == 50.0
+
+    def test_logarithmic_epoch_count(self):
+        manager = EpochManager()
+        for t in range(1, 10_001):
+            manager.observe(t, float(t))
+        assert len(manager) <= 16  # ~log2(10^4) + 1
+
+
+class TestLookup:
+    def test_epoch_at(self):
+        manager = EpochManager()
+        manager.observe(10, 1.0)
+        manager.observe(20, 2.0)
+        manager.observe(40, 4.0)
+        assert manager.epoch_at(10).index == 0
+        assert manager.epoch_at(19).index == 0
+        assert manager.epoch_at(20).index == 1
+        assert manager.epoch_at(100).index == 2
+
+    def test_times_before_first_epoch_map_to_first(self):
+        manager = EpochManager()
+        manager.observe(10, 1.0)
+        assert manager.epoch_at(1).index == 0
+
+    def test_start_norm_floor(self):
+        manager = EpochManager()
+        epoch = manager.observe(1, 0.0)
+        assert epoch is not None
+        assert epoch.start_norm == 1.0

@@ -1,0 +1,80 @@
+"""Tests for bound-carrying estimates."""
+
+import pytest
+
+from repro.core.estimates import Estimate, ams_point, countmin_point
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin
+from repro.streams.generators import zipf_stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def setup():
+    stream = zipf_stream(5000, universe=2**16, exponent=2.0, seed=161)
+    truth = GroundTruth(stream)
+    cm = PersistentCountMin(width=1024, depth=5, delta=10, seed=4)
+    ams = PersistentAMS(width=1024, depth=5, delta=10, seed=4)
+    cm.ingest(stream)
+    ams.ingest(stream)
+    return truth, cm, ams
+
+
+class TestEstimate:
+    def test_interval(self):
+        estimate = Estimate(value=10.0, error_bound=3.0, window=(0, 5))
+        assert estimate.interval == (7.0, 13.0)
+
+    def test_compatibility(self):
+        a = Estimate(value=10.0, error_bound=3.0, window=(0, 5))
+        b = Estimate(value=14.0, error_bound=2.0, window=(0, 5))
+        c = Estimate(value=20.0, error_bound=1.0, window=(0, 5))
+        assert a.compatible_with(b)
+        assert b.compatible_with(a)
+        assert not a.compatible_with(c)
+
+
+class TestBoundsHold:
+    def test_countmin_bound_contains_truth(self, setup):
+        truth, cm, _ = setup
+        for s, t in [(0, 5000), (1000, 4000)]:
+            for item, freq in truth.top_k(30, s, t):
+                estimate = countmin_point(cm, item, s, t)
+                lo, hi = estimate.interval
+                assert lo <= freq <= hi
+
+    def test_ams_bound_with_measured_l2(self, setup):
+        truth, _, ams = setup
+        s, t = 1000, 4000
+        l2 = truth.self_join_size(s, t) ** 0.5
+        hits = 0
+        targets = truth.top_k(30, s, t)
+        for item, freq in targets:
+            estimate = ams_point(ams, item, s, t, window_l2=l2)
+            lo, hi = estimate.interval
+            hits += lo <= freq <= hi
+        # Theorem 4.1 is a constant-probability bound amplified by the
+        # median; allow a few misses out of 30.
+        assert hits >= len(targets) - 3
+
+    def test_window_mass_override(self, setup):
+        truth, cm, _ = setup
+        wide = countmin_point(cm, 1, 0, 5000)
+        tight = countmin_point(cm, 1, 0, 5000, window_mass=100)
+        assert tight.error_bound < wide.error_bound
+
+    def test_default_window_resolution(self, setup):
+        _, cm, ams = setup
+        assert countmin_point(cm, 1).window == (0, cm.now)
+        assert ams_point(ams, 1).window == (0, ams.now)
+
+    def test_significance_reasoning(self, setup):
+        """The use case: are two windows' counts genuinely different?"""
+        truth, cm, _ = setup
+        item, _ = truth.top_k(1)[0]
+        first = countmin_point(cm, item, 0, 2500)
+        second = countmin_point(cm, item, 2500, 5000)
+        diff = abs(first.value - second.value)
+        if not first.compatible_with(second):
+            # The claim "the item's rate changed" is then sound.
+            assert diff > 0

@@ -1,0 +1,87 @@
+"""Tests for the evaluation harness and reporting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval import harness
+from repro.eval.reporting import format_table, save_json
+from repro.streams.model import Stream
+
+
+class TestDatasets:
+    def test_registry_has_paper_workloads(self):
+        assert set(harness.DATASETS) == {"Zipf_3", "ClientID", "ObjectID"}
+
+    def test_get_dataset_cached(self):
+        a = harness.get_dataset("Zipf_3", 2000)
+        b = harness.get_dataset("Zipf_3", 2000)
+        assert a is b
+
+    def test_truth_matches_dataset(self):
+        stream = harness.get_dataset("ObjectID", 2000)
+        truth = harness.get_truth("ObjectID", 2000)
+        item = int(stream.items[0])
+        expected = int((stream.items == item).sum())
+        assert truth.frequency(item) == expected
+
+    def test_paper_window(self):
+        assert harness.paper_window(1000) == (200, 600)
+
+    def test_scaled_floor(self):
+        assert harness.scaled(10) >= 1000
+
+
+class TestCompactItems:
+    def test_bijection_preserves_frequencies(self):
+        stream = Stream(items=[100, 5, 100, 7, 5, 100])
+        compact = compacted = harness.compact_items(stream)
+        assert compacted.universe == 3
+        # Frequencies preserved under the rank mapping.
+        values, counts = np.unique(compact.items, return_counts=True)
+        assert sorted(counts) == [1, 2, 3]
+
+    def test_times_preserved(self):
+        stream = Stream(items=[9, 9, 2], times=[5, 8, 11])
+        compact = harness.compact_items(stream)
+        assert list(compact.times) == [5, 8, 11]
+
+
+class TestBuilders:
+    def test_pla_builder_cached(self):
+        a = harness.build_pla_cm("Zipf_3", 2000, 50, width=128, depth=3)
+        b = harness.build_pla_cm("Zipf_3", 2000, 50, width=128, depth=3)
+        assert a is b
+        assert a.now == 2000
+
+    def test_sample_builder_varies_with_seed(self):
+        a = harness.build_sample(
+            "Zipf_3", 2000, 50, sampling_seed=1, width=128, depth=3
+        )
+        b = harness.build_sample(
+            "Zipf_3", 2000, 50, sampling_seed=2, width=128, depth=3
+        )
+        assert a is not b
+
+    def test_hh_builder_kinds(self):
+        pla = harness.build_hh("Zipf_3", 2000, 10, kind="pla", width=64, depth=2)
+        pwc = harness.build_hh("Zipf_3", 2000, 10, kind="pwc", width=64, depth=2)
+        assert pla is not pwc
+        with pytest.raises(ValueError):
+            harness.build_hh("Zipf_3", 2000, 10, kind="nope")
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.00001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_save_json_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.eval.reporting.RESULTS_DIR", tmp_path / "results"
+        )
+        path = save_json("unit", {"rows": [[1, 2]]})
+        assert json.loads(path.read_text()) == {"rows": [[1, 2]]}

@@ -1,0 +1,79 @@
+"""Tests for evaluation metrics and theory curves."""
+
+import math
+
+import pytest
+
+from repro.eval.metrics import (
+    mean_absolute_error,
+    precision_recall,
+    relative_error,
+)
+from repro.eval import theory
+
+
+class TestMetrics:
+    def test_mean_absolute_error(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 0.0]) == 1.5
+
+    def test_mae_validation(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_error(1, 0)
+
+    def test_precision_recall(self):
+        precision, recall = precision_recall([1, 2, 3], [2, 3, 4, 5])
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(0.5)
+
+    def test_precision_recall_empty_sets(self):
+        assert precision_recall([], []) == (1.0, 1.0)
+        assert precision_recall([1], []) == (0.0, 1.0)
+        assert precision_recall([], [1]) == (1.0, 0.0)
+
+
+class TestTheory:
+    def test_sample_theory_words(self):
+        assert theory.sample_theory_words(1000, depth=5, delta=10) == 1000.0
+        assert theory.sample_theory_words(
+            1000, depth=5, delta=10, copies=2
+        ) == 2000.0
+
+    def test_worst_cases_ordering(self):
+        # PLA worst case (3 words/seg) > PWC worst case (2 words/rec).
+        assert theory.pla_worst_case_words(1000, 5, 10) > (
+            theory.pwc_worst_case_words(1000, 5, 10)
+        )
+
+    def test_random_model_scaling(self):
+        assert theory.pla_random_model_segments(1000, 10) == pytest.approx(10.0)
+
+    def test_error_bounds_monotone_in_delta(self):
+        small = theory.countmin_point_error_bound(0.01, 5, 1000)
+        large = theory.countmin_point_error_bound(0.01, 50, 1000)
+        assert small < large
+        assert theory.ams_point_error_bound(0.1, 5, 100) == pytest.approx(15.0)
+
+    def test_join_error_bound_symmetry(self):
+        bound_fg = theory.ams_join_error_bound(0.1, 5, 7, 100, 200)
+        bound_gf = theory.ams_join_error_bound(0.1, 7, 5, 200, 100)
+        assert bound_fg == pytest.approx(bound_gf)
+
+    def test_selfjoin_theory_validation(self):
+        with pytest.raises(ValueError):
+            theory.sample_theory_selfjoin_error(10, 0.1, 0)
+        value = theory.sample_theory_selfjoin_error(10, 0.1, 10_000)
+        assert value == pytest.approx(0.1 * (1 + 100 / (0.01 * 10_000)))
+
+    def test_eps_helpers(self):
+        assert theory.eps_for_countmin_width(2048) == pytest.approx(
+            math.e / 2048
+        )
+        assert theory.eps_for_ams_width(1024) == pytest.approx(2 / 32)

@@ -1,0 +1,48 @@
+"""Regression guard: every shipped example runs end to end.
+
+Examples are the first code a new user executes; each is run as a
+subprocess exactly as the README instructs, and a few load-bearing
+output lines are checked so silent breakage (not just crashes) is
+caught.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+CASES = [
+    ("quickstart.py", ["persistence words", "element"]),
+    ("url_trending.py", ["heavy hitters of days 6-8", "cumulative requests"]),
+    ("join_size_estimation.py", ["true join", "window F2"]),
+    ("network_monitoring.py", ["incident window", "monitor persistence"]),
+    ("sketch_store_tour.py", ["store persistence", "reopened from"]),
+    ("scientific_readings.py", ["top Haar coefficients", "running median"]),
+]
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize("name,needles", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_and_reports(name, needles):
+    stdout = run_example(name)
+    for needle in needles:
+        assert needle in stdout, f"{name}: missing {needle!r} in output"
+
+
+def test_every_example_file_is_covered():
+    shipped = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {name for name, _ in CASES}
+    assert shipped == covered

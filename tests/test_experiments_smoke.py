@@ -1,0 +1,86 @@
+"""Tiny-scale smoke runs of every experiment runner.
+
+The benchmarks exercise the full-scale versions; these tests only verify
+that each runner executes end to end, returns the documented structure,
+and archives its JSON — cheaply, on reduced workloads.
+"""
+
+import pytest
+
+from repro.eval import experiments
+
+
+@pytest.fixture(autouse=True)
+def results_tmpdir(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        "repro.eval.reporting.RESULTS_DIR", tmp_path / "results"
+    )
+
+
+TINY = 3000
+TINY_DELTAS = (20, 80)
+
+
+def test_table1():
+    result = experiments.run_table1(length=TINY)
+    assert len(result["rows"]) == 5
+
+
+def test_fig1():
+    result = experiments.run_fig1(length=TINY, delta=30, days=4)
+    assert len(result["rows"]) == 4
+    assert len(result["items"]) == 5
+
+
+def test_fig2():
+    result = experiments.run_fig2(length=TINY, deltas=(50,))
+    assert len(result["rows"]) == 1
+
+
+def test_fig3():
+    result = experiments.run_fig3("Zipf_3", length=TINY, deltas=TINY_DELTAS)
+    assert [row[0] for row in result["rows"]] == list(TINY_DELTAS)
+
+
+def test_fig4():
+    result = experiments.run_fig4("Zipf_3", length=TINY, deltas=TINY_DELTAS)
+    assert len(result["rows"]) == 2
+
+
+def test_fig5():
+    result = experiments.run_fig5("Zipf_3", length=TINY, deltas=TINY_DELTAS)
+    assert len(result["rows"][0]) == 7
+
+
+def test_fig6():
+    result = experiments.run_fig6("Zipf_3", length=TINY, deltas=(8, 16))
+    assert len(result["rows"]) == 2
+
+
+def test_fig7():
+    result = experiments.run_fig7(
+        "Zipf_3", length=TINY, deltas=(8,), phi=0.01
+    )
+    _, pla_p, pla_r, pwc_p, pwc_r = result["rows"][0]
+    assert 0 <= min(pla_p, pla_r, pwc_p, pwc_r)
+    assert max(pla_p, pla_r, pwc_p, pwc_r) <= 1
+
+
+def test_fig8():
+    result = experiments.run_fig8(
+        "Zipf_3", length=TINY, deltas=(8,), phi=0.01
+    )
+    assert len(result["rows"][0]) == 7
+
+
+def test_fig9():
+    result = experiments.run_fig9("Zipf_3", length=TINY, deltas=(20,))
+    assert result["rows"][0][4] > 0  # theory bound present
+
+
+def test_fig10():
+    result = experiments.run_fig10("Zipf_3", length=TINY, deltas=(20,))
+    assert result["rows"][0][1] > 0  # sample words
+
+
+# CLI dispatch and pipeline behaviour are covered in tests/test_cli.py.

@@ -1,0 +1,133 @@
+"""Tests for the dyadic persistent heavy-hitter structure (Section 3.2)."""
+
+import pytest
+
+from repro.core.heavy_hitters import PersistentHeavyHitters
+from repro.core.persistent_countmin import PWCCountMin
+from repro.streams.generators import zipf_stream
+from repro.streams.model import Stream
+from repro.streams.truth import GroundTruth
+
+
+def planted_stream(length=4000, heavy=(3, 17, 42), universe=256, seed=71):
+    """A stream where specific items are guaranteed heavy."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    items = rng.integers(0, universe, size=length)
+    # Plant each heavy item on a sixth of the positions.
+    for idx, item in enumerate(heavy):
+        items[idx::6] = item
+    return Stream(items=items, universe=universe)
+
+
+@pytest.fixture(scope="module")
+def planted():
+    stream = planted_stream()
+    truth = GroundTruth(stream)
+    structure = PersistentHeavyHitters(
+        universe=256, width=256, depth=4, delta=8, seed=9
+    )
+    structure.ingest(stream)
+    return stream, truth, structure
+
+
+class TestValidation:
+    def test_universe_bounds(self):
+        with pytest.raises(ValueError):
+            PersistentHeavyHitters(universe=1, width=4, depth=2, delta=2)
+        structure = PersistentHeavyHitters(
+            universe=16, width=4, depth=2, delta=2
+        )
+        with pytest.raises(ValueError):
+            structure.update(16)
+
+    def test_phi_range(self, planted):
+        _, _, structure = planted
+        with pytest.raises(ValueError):
+            structure.heavy_hitters(phi=0.0)
+        with pytest.raises(ValueError):
+            structure.heavy_hitters(phi=1.0)
+
+
+class TestQueries:
+    def test_finds_planted_heavy_hitters(self, planted):
+        _, truth, structure = planted
+        phi = 0.1
+        found = structure.heavy_hitters(phi)
+        actual = truth.heavy_hitters(phi)
+        assert set(actual) == {3, 17, 42}
+        assert set(actual) <= set(found)
+
+    def test_window_heavy_hitters(self, planted):
+        _, truth, structure = planted
+        s, t = 1000, 3000
+        found = structure.heavy_hitters(0.1, s, t)
+        actual = truth.heavy_hitters(0.1, s, t)
+        missed = set(actual) - set(found)
+        assert not missed
+        # Precision: nothing wildly below threshold gets returned.
+        threshold = 0.05 * truth.window_l1(s, t)
+        for item in found:
+            assert truth.frequency(item, s, t) >= threshold * 0.5
+
+    def test_estimates_close_to_truth(self, planted):
+        _, truth, structure = planted
+        found = structure.heavy_hitters(0.1)
+        for item, estimate in found.items():
+            actual = truth.frequency(item)
+            assert estimate == pytest.approx(actual, rel=0.25, abs=30)
+
+    def test_point_query_delegates_to_level0(self, planted):
+        _, truth, structure = planted
+        assert structure.point(3) == pytest.approx(
+            truth.frequency(3), rel=0.2, abs=30
+        )
+
+    def test_window_mass(self, planted):
+        _, truth, structure = planted
+        s, t = 500, 2500
+        assert structure.window_mass(s, t) == pytest.approx(
+            truth.window_l1(s, t), rel=0.05, abs=20
+        )
+
+    def test_no_heavy_hitters_when_threshold_high(self, planted):
+        _, _, structure = planted
+        assert structure.heavy_hitters(0.9) == {}
+
+
+class TestVariants:
+    def test_pwc_factory(self):
+        stream = planted_stream(seed=72)
+        truth = GroundTruth(stream)
+        structure = PersistentHeavyHitters(
+            universe=256,
+            width=256,
+            depth=4,
+            delta=8,
+            seed=9,
+            sketch_factory=lambda w, d, dl, sd, hashes=None: PWCCountMin(
+                width=w, depth=d, delta=dl, seed=sd, hashes=hashes
+            ),
+        )
+        structure.ingest(stream)
+        found = structure.heavy_hitters(0.1)
+        actual = truth.heavy_hitters(0.1)
+        assert set(actual) <= set(found)
+
+    def test_space_scales_with_levels(self):
+        stream = zipf_stream(2000, universe=2**10, exponent=2.0, seed=73)
+        compacted = Stream(items=stream.items % 1024, universe=1024)
+        small = PersistentHeavyHitters(universe=1024, width=256, depth=3, delta=4)
+        small.ingest(compacted)
+        flat = small._sketches[0]
+        # The stack costs more than one level but less than levels x one
+        # level's worst case (higher levels aggregate and compress).
+        assert small.persistence_words() >= flat.persistence_words()
+
+    def test_max_candidates_cap(self, planted):
+        _, truth, structure = planted
+        found = structure.heavy_hitters(0.1, max_candidates=2)
+        # Cap keeps the strongest candidates.
+        assert len(found) <= 2
+        assert set(found) <= {3, 17, 42}

@@ -1,0 +1,99 @@
+"""Tests for the epoch-adaptive historical AMS sketch (Section 5.2)."""
+
+import math
+
+import pytest
+
+from repro.core.historical_ams import HistoricalAMS
+from repro.streams.generators import zipf_stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def ingested():
+    stream = zipf_stream(6000, universe=2**20, exponent=2.0, seed=61)
+    truth = GroundTruth(stream)
+    sketch = HistoricalAMS(
+        width=1024, depth=5, eps=0.05, seed=7, expected_length=6000
+    )
+    sketch.ingest(stream)
+    return stream, truth, sketch
+
+
+class TestValidation:
+    def test_eps_range(self):
+        with pytest.raises(ValueError):
+            HistoricalAMS(width=16, depth=2, eps=0.0)
+
+    def test_window_queries_rejected(self, ingested):
+        _, _, sketch = ingested
+        with pytest.raises(ValueError):
+            sketch.point(1, s=5, t=10)
+
+    def test_self_join_needs_copies(self):
+        sketch = HistoricalAMS(width=16, depth=2, eps=0.1, independent_copies=1)
+        sketch.update(1)
+        with pytest.raises(ValueError):
+            sketch.self_join_size(t=1)
+
+    def test_empty_sketch(self):
+        sketch = HistoricalAMS(width=16, depth=2, eps=0.1)
+        assert sketch.point(1, t=0) == 0.0
+        assert sketch.self_join_size(t=0) == 0.0
+
+
+class TestAccuracy:
+    def test_point_error_scales_with_l2(self, ingested):
+        """Theorem 5.4: error <= eps * ||f_t||_2 (constants absorbed)."""
+        _, truth, sketch = ingested
+        for t in (500, 2000, 6000):
+            l2 = math.sqrt(truth.self_join_size(0, t))
+            bound = 8 * (sketch.eps + 2.0 / math.sqrt(sketch.width)) * l2 + 4
+            for item, freq in truth.top_k(10, 0, t):
+                estimate = sketch.point(item, t=t)
+                assert abs(estimate - freq) <= bound
+
+    def test_self_join_relative_error(self, ingested):
+        _, truth, sketch = ingested
+        for t in (1000, 3000, 6000):
+            actual = truth.self_join_size(0, t)
+            estimate = sketch.self_join_size(t=t)
+            assert abs(estimate - actual) <= 0.6 * actual
+
+    def test_join_between_streams(self):
+        stream_f = zipf_stream(3000, universe=2**16, exponent=2.0, seed=62)
+        stream_g = zipf_stream(3000, universe=2**16, exponent=2.0, seed=62)
+        truth_f, truth_g = GroundTruth(stream_f), GroundTruth(stream_g)
+        kwargs = dict(width=1024, depth=5, eps=0.05, seed=8,
+                      expected_length=3000)
+        f, g = HistoricalAMS(**kwargs), HistoricalAMS(**kwargs)
+        f.ingest(stream_f)
+        g.ingest(stream_g)
+        t = 2500
+        actual = truth_f.join_size(truth_g, 0, t)
+        estimate = f.join_size(g, t=t)
+        bound = 0.6 * math.sqrt(
+            truth_f.self_join_size(0, t) * truth_g.self_join_size(0, t)
+        )
+        assert abs(estimate - actual) <= bound
+
+    def test_join_requires_shared_hashes(self):
+        a = HistoricalAMS(width=64, depth=3, eps=0.1, seed=1)
+        b = HistoricalAMS(width=64, depth=3, eps=0.1, seed=2)
+        with pytest.raises(ValueError):
+            a.join_size(b)
+
+
+class TestEpochs:
+    def test_epochs_track_l2_growth(self, ingested):
+        _, _, sketch = ingested
+        # ||f_t||_2 grows from 1 to ~||f_m||_2; epochs ~ log2 of that.
+        assert 2 <= sketch.epoch_count() <= 20
+
+    def test_space_sublinear(self, ingested):
+        stream, _, sketch = ingested
+        assert sketch.persistence_words() < 3 * len(stream)
+
+    def test_ephemeral_words(self, ingested):
+        _, _, sketch = ingested
+        assert sketch.ephemeral_words() == 2 * 1024 * 5

@@ -1,0 +1,100 @@
+"""Tests for the epoch-adaptive historical Count-Min sketch (Section 5.1)."""
+
+import pytest
+
+from repro.core.historical_countmin import HistoricalCountMin
+from repro.core.persistent_countmin import PersistentCountMin
+from repro.streams.generators import zipf_stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def ingested():
+    stream = zipf_stream(8000, universe=2**20, exponent=2.0, seed=51)
+    truth = GroundTruth(stream)
+    sketch = HistoricalCountMin(width=1024, depth=5, eps=0.02, seed=6)
+    sketch.ingest(stream)
+    return stream, truth, sketch
+
+
+class TestValidation:
+    def test_eps_range(self):
+        with pytest.raises(ValueError):
+            HistoricalCountMin(width=16, depth=2, eps=0.0)
+        with pytest.raises(ValueError):
+            HistoricalCountMin(width=16, depth=2, eps=1.0)
+
+    def test_window_queries_rejected(self, ingested):
+        _, _, sketch = ingested
+        with pytest.raises(ValueError):
+            sketch.point(1, s=10, t=20)
+
+    def test_empty_sketch_returns_zero(self):
+        sketch = HistoricalCountMin(width=16, depth=2, eps=0.1)
+        assert sketch.point(1, t=0) == 0.0
+
+
+class TestAccuracy:
+    def test_relative_error_at_many_times(self, ingested):
+        """Theorem 5.1: error <= eps * ||f_t||_1 at every query time —
+        no additive term, unlike the general-window sketch."""
+        _, truth, sketch = ingested
+        eps = sketch.eps
+        for t in (50, 200, 1000, 3000, 6000, 8000):
+            # ||f_t||_1 = t in the cash-register model.
+            # The epoch delta is eps * norm(epoch start) ~ eps * t / 2,
+            # plus the CM collision term; allow the theorem's constants.
+            bound = 4 * eps * t + 2
+            for item, freq in truth.top_k(15, 0, t):
+                estimate = sketch.point(item, t=t)
+                assert abs(estimate - freq) <= bound
+
+    def test_untouched_item_near_zero(self, ingested):
+        _, _, sketch = ingested
+        estimate = sketch.point(2**19 + 999, t=8000)
+        assert abs(estimate) <= 4 * sketch.eps * 8000 + 2
+
+    def test_frozen_counter_reads_from_earlier_epoch(self):
+        """An item touched only early keeps its value in later epochs."""
+        sketch = HistoricalCountMin(width=256, depth=3, eps=0.05)
+        for t in range(1, 11):
+            sketch.update(7, time=t)  # ten early updates of item 7
+        for t in range(11, 2001):
+            sketch.update(900 + (t % 50), time=t)  # other traffic
+        estimate = sketch.point(7, t=2000)
+        assert estimate == pytest.approx(10, abs=4 * 0.05 * 2000 + 2)
+
+
+class TestEpochs:
+    def test_epoch_count_logarithmic(self, ingested):
+        stream, _, sketch = ingested
+        assert 5 <= sketch.epoch_count() <= 20
+
+    def test_space_comparable_to_fixed_delta(self, ingested):
+        """Theorem 5.3: O(1/eps^2) expected space in the random stream
+        model — in particular, not linear in the stream."""
+        stream, _, sketch = ingested
+        assert sketch.persistence_words() < len(stream)
+
+    def test_ephemeral_words(self, ingested):
+        _, _, sketch = ingested
+        assert sketch.ephemeral_words() == 1024 * 5
+
+
+class TestAgainstGeneralSketch:
+    def test_tighter_error_for_early_times(self):
+        """For early historical queries the adaptive sketch beats a
+        general-window sketch whose delta was sized for the full stream."""
+        stream = zipf_stream(8000, universe=2**20, exponent=2.0, seed=52)
+        truth = GroundTruth(stream)
+        fixed_delta = 0.02 * len(stream)  # what s=0-agnostic tuning gives
+        general = PersistentCountMin(width=1024, depth=5, delta=fixed_delta, seed=6)
+        adaptive = HistoricalCountMin(width=1024, depth=5, eps=0.02, seed=6)
+        general.ingest(stream)
+        adaptive.ingest(stream)
+        t = 400  # early time: fixed delta = 160 swamps the counts
+        errors_general, errors_adaptive = [], []
+        for item, freq in truth.top_k(10, 0, t):
+            errors_general.append(abs(general.point(item, 0, t) - freq))
+            errors_adaptive.append(abs(adaptive.point(item, t=t) - freq))
+        assert sum(errors_adaptive) <= sum(errors_general) + 1e-9

@@ -1,0 +1,91 @@
+"""Tests for the historical (s = 0) heavy-hitter structure (Theorem 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.historical_heavy_hitters import HistoricalHeavyHitters
+from repro.streams.model import Stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def planted():
+    rng = np.random.default_rng(101)
+    items = rng.integers(0, 200, size=6000)
+    items[::4] = 9  # heavy from the start
+    items[3001::6] = 77  # becomes heavy midway
+    stream = Stream(items=items, universe=256)
+    truth = GroundTruth(stream)
+    structure = HistoricalHeavyHitters(
+        universe=256, width=256, depth=4, eps=0.02, seed=11
+    )
+    structure.ingest(stream)
+    return stream, truth, structure
+
+
+class TestValidation:
+    def test_universe(self):
+        with pytest.raises(ValueError):
+            HistoricalHeavyHitters(universe=1, width=4, depth=2, eps=0.1)
+
+    def test_window_queries_rejected(self, planted):
+        _, _, structure = planted
+        with pytest.raises(ValueError):
+            structure.point(1, s=10, t=20)
+
+    def test_phi_and_k_validation(self, planted):
+        _, _, structure = planted
+        with pytest.raises(ValueError):
+            structure.heavy_hitters(0.0)
+        with pytest.raises(ValueError):
+            structure.top_k(0)
+
+    def test_out_of_universe_item(self, planted):
+        _, _, structure = planted
+        with pytest.raises(ValueError):
+            structure.update(256)
+
+
+class TestQueries:
+    def test_mass_tracks_stream_length(self, planted):
+        stream, truth, structure = planted
+        for t in (100, 3000, 6000):
+            assert structure.mass(t) == pytest.approx(t, rel=0.05)
+
+    def test_heavy_hitters_at_end(self, planted):
+        _, truth, structure = planted
+        phi = 0.05
+        found = structure.heavy_hitters(phi)
+        actual = truth.heavy_hitters(phi, 0, 6000)
+        assert set(actual) <= set(found)
+
+    def test_heavy_hitters_respect_history(self, planted):
+        """Item 77 only becomes heavy in the second half: queries at
+        t=3000 must not report it, queries at t=6000 must."""
+        _, truth, structure = planted
+        phi = 0.05
+        early = structure.heavy_hitters(phi, t=3000)
+        late = structure.heavy_hitters(phi, t=6000)
+        assert 9 in early
+        assert 77 not in early
+        assert 9 in late
+        assert 77 in late
+
+    def test_point_tracks_truth(self, planted):
+        _, truth, structure = planted
+        for t in (1500, 4500):
+            actual = truth.frequency(9, 0, t)
+            assert structure.point(9, t=t) == pytest.approx(
+                actual, rel=0.2, abs=4 * 0.02 * t + 2
+            )
+
+    def test_top_k_over_time(self, planted):
+        _, truth, structure = planted
+        top_early = [item for item, _ in structure.top_k(1, t=2500)]
+        assert top_early == [9]
+        top_late = structure.top_k(2, t=6000)
+        assert {item for item, _ in top_late} == {9, 77}
+
+    def test_space_sublinear(self, planted):
+        stream, _, structure = planted
+        assert structure.persistence_words() < 30 * len(stream)

@@ -1,0 +1,108 @@
+"""End-to-end integration: the full public API on one realistic workload.
+
+Simulates the paper's Section 1.5 scenario — a web access log sketched
+once, then analysed historically — exercising every persistent structure
+together and cross-checking their answers against ground truth and
+against each other.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    GroundTruth,
+    HistoricalCountMin,
+    PersistentAMS,
+    PersistentCountMin,
+    PersistentHeavyHitters,
+    make_ams_pair,
+)
+from repro.eval.harness import compact_items
+from repro.streams.worldcup import client_id_stream, object_id_stream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    urls = object_id_stream(12_000, seed=81)
+    clients = client_id_stream(12_000, seed=82)
+    return urls, clients, GroundTruth(urls), GroundTruth(clients)
+
+
+def test_full_analytics_pipeline(workload):
+    urls, clients, url_truth, client_truth = workload
+    m = len(urls)
+
+    # 1. Ingest once, through every structure a monitoring stack would run.
+    trending = PersistentCountMin(width=2048, depth=5, delta=25, seed=11)
+    historical = HistoricalCountMin(width=2048, depth=5, eps=0.01, seed=11)
+    url_join, client_join = make_ams_pair(
+        width=1024, depth=5, delta_f=25, seed=12, independent_copies=2
+    )
+    compact_urls = compact_items(urls)
+    hh = PersistentHeavyHitters(
+        universe=compact_urls.universe, width=512, depth=4, delta=12, seed=13
+    )
+    trending.ingest(urls)
+    historical.ingest(urls)
+    url_join.ingest(urls)
+    client_join.ingest(clients)
+    hh.ingest(compact_urls)
+    compact_truth = GroundTruth(compact_urls)
+
+    # 2. Arbitrary-window point queries track truth (Theorem 3.1).
+    s, t = m // 4, 3 * m // 4
+    window_l1 = url_truth.window_l1(s, t)
+    eps_cm = math.e / 2048
+    for item, freq in url_truth.top_k(10, s, t):
+        estimate = trending.point(item, s, t)
+        assert abs(estimate - freq) <= eps_cm * window_l1 + 2 * 25 + 2
+
+    # 3. Historical (s=0) queries have purely relative error (Thm 5.1).
+    for checkpoint in (m // 10, m // 2, m):
+        for item, freq in url_truth.top_k(5, 0, checkpoint):
+            estimate = historical.point(item, t=checkpoint)
+            assert abs(estimate - freq) <= 4 * 0.01 * checkpoint + 2
+
+    # 4. Window heavy hitters: high recall against truth (Thm 3.2).
+    phi = 0.01
+    found = hh.heavy_hitters(phi, s, t)
+    actual = compact_truth.heavy_hitters(phi, s, t)
+    recall = len(set(found) & set(actual)) / max(len(actual), 1)
+    assert recall >= 0.8
+
+    # 5. Window self-join via the sampling technique (Thm 4.2).
+    actual_sj = url_truth.self_join_size(s, t)
+    estimate_sj = url_join.self_join_size(s, t)
+    assert abs(estimate_sj - actual_sj) <= 0.5 * actual_sj
+
+    # 6. Cross-stream join size between URLs and clients.
+    actual_join = url_truth.join_size(client_truth, s, t)
+    estimate_join = url_join.join_size(client_join, s, t)
+    eps_ams = 2.0 / math.sqrt(1024)
+    bound = 4 * eps_ams * math.sqrt(
+        (url_truth.self_join_size(s, t) + (25 / eps_ams) ** 2)
+        * (client_truth.self_join_size(s, t) + (25 / eps_ams) ** 2)
+    )
+    assert abs(estimate_join - actual_join) <= bound
+
+    # 7. Everything stayed sublinear (the point of the paper).
+    for sketch in (trending, url_join):
+        assert sketch.persistence_words() < 2 * m
+
+
+def test_sketch_answers_consistent_across_structures(workload):
+    """The PLA and Sample techniques agree with each other (both are
+    estimating the same frequencies) within their combined error."""
+    urls, _, url_truth, _ = workload
+    m = len(urls)
+    pla = PersistentCountMin(width=2048, depth=5, delta=20, seed=14)
+    sample = PersistentAMS(width=2048, depth=5, delta=20, seed=14)
+    pla.ingest(urls)
+    sample.ingest(urls)
+    s, t = m // 5, 4 * m // 5
+    l1 = url_truth.window_l1(s, t)
+    l2 = math.sqrt(url_truth.self_join_size(s, t))
+    combined = (math.e / 2048) * l1 + 4 * (2 / math.sqrt(2048)) * l2 + 4 * 20
+    for item, _ in url_truth.top_k(10, s, t):
+        assert abs(pla.point(item, s, t) - sample.point(item, s, t)) <= combined

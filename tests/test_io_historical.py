@@ -1,0 +1,87 @@
+"""Serialization round trips for the epoch-adaptive historical sketches."""
+
+import pytest
+
+from repro.core.historical_ams import HistoricalAMS
+from repro.core.historical_countmin import HistoricalCountMin
+from repro.io import from_dict, load, save, to_dict
+from repro.streams.generators import zipf_stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(4000, universe=2**16, exponent=1.8, seed=131)
+
+
+@pytest.fixture(scope="module")
+def truth(stream):
+    return GroundTruth(stream)
+
+
+class TestHistoricalCountMin:
+    def test_round_trip_answers(self, stream, truth, tmp_path):
+        original = HistoricalCountMin(width=512, depth=4, eps=0.02, seed=3)
+        original.ingest(stream)
+        restored = load(save(original, tmp_path / "hcm.json.gz"))
+        assert restored.epoch_count() == original.epoch_count()
+        for item, _ in truth.top_k(15):
+            for t in (500, 2000, 4000):
+                assert restored.point(item, t=t) == pytest.approx(
+                    original.point(item, t=t), abs=1e-9
+                )
+
+    def test_continued_ingest(self, stream, tmp_path):
+        original = HistoricalCountMin(width=256, depth=3, eps=0.05, seed=3)
+        original.ingest(stream)
+        restored = load(save(original, tmp_path / "hcm2.json"))
+        hot = int(stream.items[0])
+        for t in range(4001, 4101):
+            restored.update(hot, time=t)
+        after = restored.point(hot, t=4100)
+        before = restored.point(hot, t=4000)
+        assert after >= before + 100 - 4 * 0.05 * 4100 - 2
+
+
+class TestHistoricalAMS:
+    def test_round_trip_answers(self, stream, truth, tmp_path):
+        original = HistoricalAMS(
+            width=512, depth=4, eps=0.05, seed=3, expected_length=4000
+        )
+        original.ingest(stream)
+        restored = load(save(original, tmp_path / "hams.json.gz"))
+        assert restored.epoch_count() == original.epoch_count()
+        for t in (1000, 4000):
+            assert restored.self_join_size(t=t) == pytest.approx(
+                original.self_join_size(t=t)
+            )
+        for item, _ in truth.top_k(10):
+            assert restored.point(item, t=4000) == pytest.approx(
+                original.point(item, t=4000), abs=1e-9
+            )
+
+    def test_rng_continuity(self, tmp_path):
+        base = HistoricalAMS(
+            width=64, depth=3, eps=0.1, seed=5, expected_length=400
+        )
+        for t in range(1, 201):
+            base.update(t % 13, time=t)
+        doc = to_dict(base)
+        a, b = from_dict(doc), from_dict(doc)
+        for t in range(201, 401):
+            a.update(t % 13, time=t)
+            b.update(t % 13, time=t)
+        assert a.persistence_words() == b.persistence_words()
+        assert a.self_join_size(t=400) == b.self_join_size(t=400)
+
+    def test_epoch_state_preserved(self, stream, tmp_path):
+        original = HistoricalAMS(
+            width=256, depth=3, eps=0.05, seed=7, expected_length=4000
+        )
+        original.ingest(stream)
+        restored = load(save(original, tmp_path / "h3.json"))
+        assert restored._probability == original._probability
+        assert (
+            restored._epochs.current.start_norm
+            == original._epochs.current.start_norm
+        )

@@ -1,0 +1,82 @@
+"""Property-based serialization round trips.
+
+Hypothesis drives random streams, shapes and deltas through save/load
+and asserts answer preservation — the kind of fuzzing a storage format
+needs before anyone trusts it with an archive.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin, PWCCountMin
+from repro.io import from_dict, to_dict
+
+small_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),  # item
+        st.sampled_from([1, 1, 1, -1]),  # count (mostly inserts)
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+shapes = st.tuples(
+    st.integers(min_value=4, max_value=64),  # width
+    st.integers(min_value=1, max_value=4),  # depth
+    st.integers(min_value=1, max_value=20),  # delta
+)
+
+
+def ingest_updates(sketch, updates):
+    balance: dict[int, int] = {}
+    time = 0
+    for item, count in updates:
+        # Keep frequencies non-negative (the paper's turnstile model).
+        if count < 0 and balance.get(item, 0) <= 0:
+            count = 1
+        balance[item] = balance.get(item, 0) + count
+        time += 1
+        sketch.update(item, count, time)
+    return time
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(updates=small_streams, shape=shapes)
+def test_countmin_roundtrip_preserves_answers(updates, shape):
+    width, depth, delta = shape
+    sketch = PersistentCountMin(width=width, depth=depth, delta=delta, seed=3)
+    end = ingest_updates(sketch, updates)
+    restored = from_dict(to_dict(sketch))
+    for item in {item for item, _ in updates}:
+        for s, t in [(0, end), (end // 2, end)]:
+            assert restored.point(item, s, t) == sketch.point(item, s, t)
+    assert restored.persistence_words() == sketch.persistence_words()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(updates=small_streams, shape=shapes)
+def test_pwc_roundtrip_preserves_answers(updates, shape):
+    width, depth, delta = shape
+    sketch = PWCCountMin(width=width, depth=depth, delta=delta, seed=3)
+    end = ingest_updates(sketch, updates)
+    restored = from_dict(to_dict(sketch))
+    for item in {item for item, _ in updates}:
+        assert restored.point(item, 0, end) == sketch.point(item, 0, end)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(updates=small_streams, shape=shapes)
+def test_ams_roundtrip_preserves_answers(updates, shape):
+    width, depth, delta = shape
+    sketch = PersistentAMS(
+        width=width, depth=depth, delta=max(delta, 1), seed=3
+    )
+    end = ingest_updates(sketch, updates)
+    restored = from_dict(to_dict(sketch))
+    for item in {item for item, _ in updates}:
+        assert restored.point(item, 0, end) == sketch.point(item, 0, end)
+    assert restored.self_join_size(0, end) == sketch.self_join_size(0, end)

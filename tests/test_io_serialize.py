@@ -1,0 +1,132 @@
+"""Tests for sketch serialization."""
+
+import pytest
+
+from repro.core.heavy_hitters import PersistentHeavyHitters
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin, PWCCountMin
+from repro.core.pwc_ams import PWCAMS
+from repro.io import from_dict, load, save, to_dict
+from repro.io.serialize import SerializationError
+from repro.streams.generators import zipf_stream
+from repro.streams.model import Stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(4000, universe=2**16, exponent=1.8, seed=55)
+
+
+@pytest.fixture(scope="module")
+def truth(stream):
+    return GroundTruth(stream)
+
+
+def ingest(sketch, stream):
+    sketch.ingest(stream)
+    return sketch
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: PersistentCountMin(width=256, depth=4, delta=10, seed=2),
+            lambda: PWCCountMin(width=256, depth=4, delta=10, seed=2),
+            lambda: PWCAMS(width=256, depth=4, delta=10, seed=2),
+        ],
+        ids=["PLA", "PWC_CM", "PWC_AMS"],
+    )
+    def test_point_answers_survive(self, factory, stream, truth, tmp_path):
+        original = ingest(factory(), stream)
+        path = save(original, tmp_path / "sketch.json")
+        restored = load(path)
+        for item, _ in truth.top_k(20):
+            for s, t in [(0, 4000), (1000, 3000)]:
+                assert restored.point(item, s, t) == pytest.approx(
+                    original.point(item, s, t), abs=1e-9
+                )
+        assert restored.persistence_words() >= 0
+        assert restored.now == original.now
+
+    def test_ams_self_join_survives(self, stream, tmp_path):
+        original = ingest(
+            PersistentAMS(width=256, depth=4, delta=10, seed=2), stream
+        )
+        expected = original.self_join_size(500, 3500)
+        restored = load(save(original, tmp_path / "ams.json.gz"))
+        assert restored.self_join_size(500, 3500) == pytest.approx(expected)
+
+    def test_heavy_hitters_survive(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(66)
+        items = rng.integers(0, 128, size=3000)
+        items[::4] = 5
+        hh_stream = Stream(items=items, universe=128)
+        original = PersistentHeavyHitters(
+            universe=128, width=128, depth=3, delta=8
+        )
+        original.ingest(hh_stream)
+        expected = original.heavy_hitters(0.1)
+        restored = load(save(original, tmp_path / "hh.json"))
+        assert restored.heavy_hitters(0.1).keys() == expected.keys()
+        assert restored.window_mass(0, 3000) == pytest.approx(
+            original.window_mass(0, 3000)
+        )
+
+    def test_gzip_smaller_than_plain(self, stream, tmp_path):
+        sketch = ingest(
+            PersistentAMS(width=256, depth=4, delta=5, seed=2), stream
+        )
+        plain = save(sketch, tmp_path / "a.json")
+        packed = save(sketch, tmp_path / "a.json.gz")
+        assert packed.stat().st_size < plain.stat().st_size
+
+
+class TestContinuedIngest:
+    def test_updates_after_load(self, tmp_path):
+        original = PersistentCountMin(width=128, depth=3, delta=4, seed=1)
+        for t in range(1, 101):
+            original.update(7, time=t)
+        restored = load(save(original, tmp_path / "cm.json"))
+        for t in range(101, 201):
+            restored.update(7, time=t)
+        assert restored.point(7, 0, 200) == pytest.approx(200, abs=10)
+        # History before the save is still intact.
+        assert restored.point(7, 0, 100) == pytest.approx(100, abs=10)
+
+    def test_ams_rng_continuity(self, tmp_path):
+        """The restored sketch continues the exact random sequence: two
+        copies diverge from a fresh sketch but not from each other."""
+        base = PersistentAMS(width=64, depth=3, delta=3, seed=4)
+        for t in range(1, 201):
+            base.update(t % 17, time=t)
+        doc = to_dict(base)
+        a, b = from_dict(doc), from_dict(doc)
+        for t in range(201, 401):
+            a.update(t % 17, time=t)
+            b.update(t % 17, time=t)
+        assert a.persistence_words() == b.persistence_words()
+        assert a.self_join_size(0, 400) == b.self_join_size(0, 400)
+
+
+class TestErrors:
+    def test_unknown_type(self):
+        with pytest.raises(SerializationError):
+            to_dict(object())
+
+    def test_bad_format(self):
+        with pytest.raises(SerializationError):
+            from_dict({"format": "nope"})
+
+    def test_bad_version(self):
+        with pytest.raises(SerializationError):
+            from_dict({"format": "repro-sketch", "version": 99})
+
+    def test_unknown_sketch_type(self):
+        with pytest.raises(SerializationError):
+            from_dict(
+                {"format": "repro-sketch", "version": 1, "type": "Quantile"}
+            )

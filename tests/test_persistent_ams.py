@@ -1,0 +1,161 @@
+"""Tests for the sampling-based persistent AMS sketch (Section 4)."""
+
+import math
+
+import pytest
+
+from repro.core.join import make_ams_pair, window_join_size
+from repro.core.persistent_ams import PersistentAMS
+from repro.streams.generators import turnstile_stream, zipf_stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def ingested():
+    stream = zipf_stream(8000, universe=2**20, exponent=2.0, seed=31)
+    truth = GroundTruth(stream)
+    sketch = PersistentAMS(width=1024, depth=5, delta=10, seed=4)
+    sketch.ingest(stream)
+    return stream, truth, sketch
+
+
+class TestValidation:
+    def test_delta_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            PersistentAMS(width=16, depth=2, delta=0.5)
+
+    def test_copies_validation(self):
+        with pytest.raises(ValueError):
+            PersistentAMS(width=16, depth=2, delta=4, independent_copies=0)
+
+    def test_self_join_requires_two_copies(self):
+        sketch = PersistentAMS(width=16, depth=2, delta=4, independent_copies=1)
+        sketch.update(1)
+        with pytest.raises(ValueError):
+            sketch.self_join_size(0, 1)
+
+
+class TestPointQueries:
+    def test_point_error_bound(self, ingested):
+        _, truth, sketch = ingested
+        eps = 2.0 / math.sqrt(sketch.width)
+        for s, t in [(0, 8000), (2000, 6000)]:
+            l2 = math.sqrt(truth.self_join_size(s, t))
+            # Theorem 4.1 is per-query with constant probability; the
+            # constant-factor slack covers the variance of the median.
+            bound = 4 * (eps * l2 + 2 * sketch.delta)
+            for item, freq in truth.top_k(20, s, t):
+                assert abs(sketch.point(item, s, t) - freq) <= bound
+
+    def test_point_before_any_updates_is_zero(self, ingested):
+        _, _, sketch = ingested
+        assert sketch.point(12345, 0, 0) == 0.0
+
+
+class TestSelfJoin:
+    def test_self_join_accuracy(self, ingested):
+        _, truth, sketch = ingested
+        for s, t in [(0, 8000), (1600, 4800), (4000, 8000)]:
+            actual = truth.self_join_size(s, t)
+            estimate = sketch.self_join_size(s, t)
+            eps = 2.0 / math.sqrt(sketch.width)
+            bound = 4 * eps * (actual + (sketch.delta / eps) ** 2)
+            assert abs(estimate - actual) <= bound
+
+    def test_unbiasedness_across_seeds(self):
+        """The compensated estimator is unbiased: errors average out over
+        independent sampling seeds (the property PWC lacks)."""
+        stream = zipf_stream(3000, universe=2**18, exponent=2.0, seed=33)
+        truth = GroundTruth(stream)
+        s, t = 600, 2400
+        actual = truth.self_join_size(s, t)
+        estimates = []
+        for seed in range(12):
+            sketch = PersistentAMS(
+                width=1024, depth=5, delta=20, seed=4, sampling_seed=seed
+            )
+            sketch.ingest(stream)
+            estimates.append(sketch.self_join_size(s, t))
+        mean = sum(estimates) / len(estimates)
+        spread = max(estimates) - min(estimates)
+        # The mean is much closer to truth than the per-run spread.
+        assert abs(mean - actual) <= max(spread, 0.05 * actual)
+
+
+class TestJoin:
+    def test_join_between_two_streams(self):
+        # Two streams over the same hot keys with different mixes.
+        stream_f = zipf_stream(4000, universe=2**16, exponent=2.0, seed=35)
+        stream_g = zipf_stream(4000, universe=2**16, exponent=2.0, seed=35)
+        truth_f, truth_g = GroundTruth(stream_f), GroundTruth(stream_g)
+        sketch_f, sketch_g = make_ams_pair(
+            width=1024, depth=5, delta_f=10, seed=6
+        )
+        sketch_f.ingest(stream_f)
+        sketch_g.ingest(stream_g)
+        s, t = 800, 3200
+        actual = truth_f.join_size(truth_g, s, t)
+        estimate = sketch_f.join_size(sketch_g, s, t)
+        eps = 2.0 / math.sqrt(1024)
+        bound = 4 * eps * math.sqrt(
+            (truth_f.self_join_size(s, t) + (10 / eps) ** 2)
+            * (truth_g.self_join_size(s, t) + (10 / eps) ** 2)
+        )
+        assert abs(estimate - actual) <= bound
+
+    def test_join_requires_shared_hashes(self):
+        a = PersistentAMS(width=64, depth=3, delta=4, seed=1)
+        b = PersistentAMS(width=64, depth=3, delta=4, seed=2)
+        with pytest.raises(ValueError):
+            a.join_size(b)
+
+    def test_window_join_size_helper(self):
+        sketch_f, sketch_g = make_ams_pair(width=256, depth=3, delta_f=4, seed=9)
+        for item in [1, 2, 3]:
+            sketch_f.update(item)
+        for item in [2, 3, 4]:
+            sketch_g.update(item)
+        result = window_join_size(sketch_f, sketch_g, 0, 3, l2_f=2.0, l2_g=2.0)
+        assert result.window == (0, 3)
+        assert result.error_bound > 0
+        result_nobound = window_join_size(sketch_f, sketch_g)
+        assert math.isnan(result_nobound.error_bound)
+
+
+class TestAccounting:
+    def test_words_match_expectation(self, ingested):
+        stream, _, sketch = ingested
+        expected = 2 * 2 * sketch.depth * len(stream) * sketch.probability
+        assert sketch.persistence_words() == pytest.approx(expected, rel=0.15)
+
+    def test_single_copy_halves_space(self):
+        stream = zipf_stream(4000, universe=2**16, seed=36)
+        two = PersistentAMS(width=256, depth=4, delta=10, independent_copies=2)
+        one = PersistentAMS(width=256, depth=4, delta=10, independent_copies=1)
+        two.ingest(stream)
+        one.ingest(stream)
+        assert one.persistence_words() < two.persistence_words()
+
+    def test_ephemeral_words(self, ingested):
+        _, _, sketch = ingested
+        assert sketch.ephemeral_words() == 2 * 1024 * 5
+
+
+class TestTurnstile:
+    def test_deletions_route_to_components(self):
+        stream = turnstile_stream(2000, universe=64, seed=37)
+        truth = GroundTruth(stream)
+        sketch = PersistentAMS(width=512, depth=5, delta=4, seed=2)
+        sketch.ingest(stream)
+        s, t = 400, 1600
+        eps = 2.0 / math.sqrt(sketch.width)
+        l2 = math.sqrt(truth.self_join_size(s, t))
+        bound = 4 * (eps * l2 + 2 * sketch.delta)
+        for item in list(truth.items())[:20]:
+            freq = truth.frequency(item, s, t)
+            assert abs(sketch.point(item, s, t) - freq) <= bound
+
+    def test_zero_count_update_is_noop(self):
+        sketch = PersistentAMS(width=16, depth=2, delta=2)
+        sketch.update(1, count=0)
+        assert sketch.persistence_words() == 0

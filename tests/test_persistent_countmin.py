@@ -1,0 +1,143 @@
+"""Tests for the PLA-based persistent Count-Min sketch (Section 3)."""
+
+import pytest
+
+from repro.core.persistent_countmin import PersistentCountMin, PWCCountMin
+from repro.sketch.countmin import CountMinSketch
+from repro.streams.generators import turnstile_stream, zipf_stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def ingested():
+    stream = zipf_stream(8000, universe=2**20, exponent=2.0, seed=21)
+    truth = GroundTruth(stream)
+    sketch = PersistentCountMin(width=1024, depth=5, delta=10, seed=3)
+    sketch.ingest(stream)
+    return stream, truth, sketch
+
+
+class TestPointQueries:
+    def test_window_point_error_bound(self, ingested):
+        stream, truth, sketch = ingested
+        delta = sketch.delta
+        eps = 2.718281828 / sketch.width
+        for s, t in [(0, 8000), (1000, 5000), (4000, 8000), (7900, 8000)]:
+            window_l1 = truth.window_l1(s, t)
+            bound = eps * window_l1 + 2 * delta + 2  # both endpoints + step slack
+            for item, freq in truth.top_k(30, s, t):
+                estimate = sketch.point(item, s, t)
+                assert abs(estimate - freq) <= bound
+
+    def test_unseen_item_estimates_near_zero(self, ingested):
+        _, _, sketch = ingested
+        assert abs(sketch.point(2**19 + 12345)) <= 2 * sketch.delta + 2
+
+    def test_t_defaults_to_now(self, ingested):
+        _, truth, sketch = ingested
+        item, freq = truth.top_k(1)[0]
+        assert sketch.point(item) == sketch.point(item, 0, sketch.now)
+
+    def test_empty_window_rejected(self, ingested):
+        _, _, sketch = ingested
+        with pytest.raises(ValueError):
+            sketch.point(1, s=100, t=50)
+
+    def test_matches_ephemeral_at_stream_end(self, ingested):
+        """At t = now, the persistent estimate tracks the ephemeral CM
+        within the PLA error."""
+        stream, truth, sketch = ingested
+        ephemeral = CountMinSketch(
+            width=sketch.width, depth=sketch.depth, seed=3
+        )
+        for item in stream.items:
+            ephemeral.update(int(item))
+        for item, _ in truth.top_k(20):
+            persistent = sketch.point(item, 0, sketch.now)
+            assert abs(persistent - ephemeral.point_median(item)) <= (
+                sketch.delta + 1
+            )
+
+
+class TestAccounting:
+    def test_persistence_sublinear_on_skewed_data(self, ingested):
+        stream, _, sketch = ingested
+        # PLA on a skewed stream: far below the 3*d*m/delta worst case.
+        worst = 3 * sketch.depth * len(stream) / sketch.delta
+        assert sketch.persistence_words() < worst / 3
+
+    def test_ephemeral_words(self, ingested):
+        _, _, sketch = ingested
+        assert sketch.ephemeral_words() == 1024 * 5
+
+    def test_finalize_flushes_open_runs(self):
+        sketch = PersistentCountMin(width=64, depth=3, delta=5)
+        for item in [1, 2, 3, 1, 1]:
+            sketch.update(item)
+        before = sketch.persistence_words()
+        sketch.finalize()
+        assert sketch.persistence_words() >= before
+        assert sketch.persistence_words() > 0
+
+
+class TestClock:
+    def test_auto_increment(self):
+        sketch = PersistentCountMin(width=16, depth=2, delta=5)
+        sketch.update(1)
+        sketch.update(1)
+        assert sketch.now == 2
+
+    def test_explicit_times(self):
+        sketch = PersistentCountMin(width=16, depth=2, delta=5)
+        sketch.update(1, time=10)
+        sketch.update(1, time=20)
+        assert sketch.now == 20
+        with pytest.raises(ValueError):
+            sketch.update(1, time=20)
+
+    def test_time_gaps_hold_values(self):
+        sketch = PersistentCountMin(width=64, depth=3, delta=2)
+        sketch.update(7, time=10)
+        sketch.update(7, time=1000)
+        # Between the two arrivals the frequency is 1.
+        assert sketch.point(7, 0, 500) == pytest.approx(1, abs=3)
+
+
+class TestTurnstile:
+    def test_deletions_supported(self):
+        stream = turnstile_stream(3000, universe=128, seed=5)
+        truth = GroundTruth(stream)
+        sketch = PersistentCountMin(width=512, depth=5, delta=8, seed=1)
+        sketch.ingest(stream)
+        eps = 2.718281828 / sketch.width
+        s, t = 500, 2500
+        bound = eps * truth.window_l1(s, t) + 2 * sketch.delta + 2
+        for item in list(truth.items())[:30]:
+            freq = truth.frequency(item, s, t)
+            assert abs(sketch.point(item, s, t) - freq) <= bound
+
+
+class TestPWCVariant:
+    def test_pwc_error_bound(self):
+        stream = zipf_stream(5000, universe=2**18, exponent=2.0, seed=22)
+        truth = GroundTruth(stream)
+        sketch = PWCCountMin(width=1024, depth=5, delta=10, seed=3)
+        sketch.ingest(stream)
+        eps = 2.718281828 / sketch.width
+        s, t = 1000, 4000
+        bound = eps * truth.window_l1(s, t) + 2 * sketch.delta
+        for item, freq in truth.top_k(30, s, t):
+            assert abs(sketch.point(item, s, t) - freq) <= bound
+
+    def test_pwc_space_at_worst_case_on_hot_counters(self):
+        """A single hot item drives its counters to record every delta."""
+        sketch = PWCCountMin(width=64, depth=3, delta=10)
+        for t in range(1, 1001):
+            sketch.update(42, time=t)
+        # Each of 3 rows records ~1000/11 values at 2 words each.
+        words = sketch.persistence_words()
+        assert 3 * 2 * 80 <= words <= 3 * 2 * 101
+
+    def test_name_labels(self):
+        assert PersistentCountMin.name == "PLA"
+        assert PWCCountMin.name == "PWC_CountMin"

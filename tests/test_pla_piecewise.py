@@ -1,0 +1,135 @@
+"""Tests for segment storage and the piecewise-constant recorder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pla.piecewise import PiecewiseLinearFunction
+from repro.pla.piecewise_constant import OnlinePWC, PiecewiseConstantFunction
+from repro.pla.segment import Segment
+
+
+class TestSegment:
+    def test_evaluation(self):
+        seg = Segment(t_start=10, t_end=20, slope=2.0, value_at_start=5.0)
+        assert seg(10) == 5.0
+        assert seg(15) == 15.0
+
+    def test_clamping(self):
+        seg = Segment(t_start=10, t_end=20, slope=1.0, value_at_start=0.0)
+        assert seg.evaluate_clamped(5) == 0.0
+        assert seg.evaluate_clamped(25) == 10.0
+        assert seg.evaluate_clamped(12) == 2.0
+
+    def test_immutability(self):
+        seg = Segment(t_start=0, t_end=1, slope=0.0, value_at_start=0.0)
+        with pytest.raises(AttributeError):
+            seg.slope = 1.0  # type: ignore[misc]
+
+
+class TestPiecewiseLinearFunction:
+    def test_initial_value_before_first_segment(self):
+        fn = PiecewiseLinearFunction(initial_value=9.0)
+        fn.append(Segment(t_start=10, t_end=20, slope=0.0, value_at_start=1.0))
+        assert fn.value_at(5) == 9.0
+        assert fn.value_at(15) == 1.0
+
+    def test_segment_selection(self):
+        fn = PiecewiseLinearFunction()
+        fn.append(Segment(t_start=0, t_end=10, slope=1.0, value_at_start=0.0))
+        fn.append(Segment(t_start=20, t_end=30, slope=0.0, value_at_start=99.0))
+        assert fn.value_at(5) == 5.0
+        assert fn.value_at(15) == 10.0  # gap: clamped to first segment end
+        assert fn.value_at(25) == 99.0
+        assert fn.value_at(1000) == 99.0
+
+    def test_rejects_out_of_order_appends(self):
+        fn = PiecewiseLinearFunction()
+        fn.append(Segment(t_start=10, t_end=20, slope=0.0, value_at_start=0.0))
+        with pytest.raises(ValueError):
+            fn.append(Segment(t_start=10, t_end=25, slope=0.0, value_at_start=0.0))
+
+    def test_words_accounting(self):
+        fn = PiecewiseLinearFunction()
+        assert fn.words() == 0
+        fn.append(Segment(t_start=0, t_end=1, slope=0.0, value_at_start=0.0))
+        fn.append(Segment(t_start=2, t_end=3, slope=0.0, value_at_start=0.0))
+        assert fn.words() == 6
+        assert len(fn) == 2
+        assert len(list(iter(fn))) == 2
+
+
+class TestPiecewiseConstantFunction:
+    def test_predecessor_read(self):
+        fn = PiecewiseConstantFunction(initial_value=0.0)
+        fn.append(5, 10.0)
+        fn.append(9, 20.0)
+        assert fn.value_at(4) == 0.0
+        assert fn.value_at(5) == 10.0
+        assert fn.value_at(8) == 10.0
+        assert fn.value_at(100) == 20.0
+
+    def test_rejects_out_of_order(self):
+        fn = PiecewiseConstantFunction()
+        fn.append(5, 1.0)
+        with pytest.raises(ValueError):
+            fn.append(5, 2.0)
+
+    def test_words(self):
+        fn = PiecewiseConstantFunction()
+        fn.append(1, 1.0)
+        fn.append(2, 2.0)
+        assert fn.words() == 4
+
+
+class TestOnlinePWC:
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            OnlinePWC(delta=0)
+
+    def test_records_only_on_deviation(self):
+        pwc = OnlinePWC(delta=5.0)
+        for t, v in enumerate([1, 2, 3, 4, 5], start=1):
+            pwc.feed(t, float(v))
+        assert len(pwc.function) == 0  # never deviated by > 5
+        pwc.feed(6, 7.0)
+        assert len(pwc.function) == 1
+
+    def test_read_error_bounded_by_delta(self):
+        """Invariant: |recorded read - true value| <= delta at feed times."""
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        delta = 7.0
+        pwc = OnlinePWC(delta=delta)
+        values = {}
+        v = 0.0
+        for t in range(1, 2000):
+            v += float(rng.choice([-1, 0, 1]))
+            pwc.feed(t, v)
+            values[t] = v
+        for t, v in values.items():
+            assert abs(pwc.value_at(t) - v) <= delta
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=100),
+        st.floats(min_value=1.0, max_value=10.0),
+    )
+    def test_error_bound_property(self, steps, delta):
+        pwc = OnlinePWC(delta=delta)
+        v = 0.0
+        history = []
+        for t, dv in enumerate(steps, start=1):
+            v += dv
+            pwc.feed(t, v)
+            history.append((t, v))
+        for t, v in history:
+            assert abs(pwc.value_at(t) - v) <= delta
+
+    def test_space_cliff_below_delta(self):
+        """Counters that never exceed delta cost zero words (Fig. 3b)."""
+        pwc = OnlinePWC(delta=100.0)
+        for t in range(1, 50):
+            pwc.feed(t, float(t))  # max value 49 < 100
+        assert pwc.words() == 0

@@ -1,0 +1,87 @@
+"""Tests for the PWC_AMS baseline."""
+
+import math
+
+import pytest
+
+from repro.core.pwc_ams import PWCAMS
+from repro.streams.generators import zipf_stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def ingested():
+    stream = zipf_stream(6000, universe=2**18, exponent=2.0, seed=41)
+    truth = GroundTruth(stream)
+    sketch = PWCAMS(width=1024, depth=5, delta=10, seed=5)
+    sketch.ingest(stream)
+    return stream, truth, sketch
+
+
+class TestPoint:
+    def test_point_error_bound(self, ingested):
+        _, truth, sketch = ingested
+        s, t = 1200, 4800
+        eps = 2.0 / math.sqrt(sketch.width)
+        l2 = math.sqrt(truth.self_join_size(s, t))
+        bound = 4 * eps * l2 + 2 * sketch.delta
+        for item, freq in truth.top_k(20, s, t):
+            assert abs(sketch.point(item, s, t) - freq) <= bound
+
+    def test_untouched_counter_reads_zero(self, ingested):
+        _, _, sketch = ingested
+        assert sketch.counter_at(0, 0, 100) in (0.0, sketch.counter_at(0, 0, 100))
+
+
+class TestSelfJoin:
+    def test_bias_grows_with_delta(self):
+        """The deterministic bias the paper's Section 4.2 describes:
+        at large delta the PWC self-join error is substantial on a
+        spread-out stream, because every counter is under-recorded."""
+        from repro.streams.generators import uniform_stream
+
+        stream = uniform_stream(5000, universe=1000, seed=42)
+        truth = GroundTruth(stream)
+        s, t = 1000, 4000
+        actual = truth.self_join_size(s, t)
+        small = PWCAMS(width=512, depth=5, delta=2, seed=5)
+        large = PWCAMS(width=512, depth=5, delta=500, seed=5)
+        small.ingest(stream)
+        large.ingest(stream)
+        small_err = abs(small.self_join_size(s, t) - actual) / actual
+        large_err = abs(large.self_join_size(s, t) - actual) / actual
+        assert small_err < large_err
+        assert large_err > 0.5  # records nothing: estimate collapses
+
+    def test_join_requires_shared_config(self):
+        a = PWCAMS(width=64, depth=3, delta=4, seed=1)
+        b = PWCAMS(width=64, depth=3, delta=4, seed=2)
+        with pytest.raises(ValueError):
+            a.join_size(b)
+
+    def test_join_between_streams(self):
+        a = PWCAMS(width=512, depth=5, delta=2, seed=7)
+        b = PWCAMS(width=512, depth=5, delta=2, seed=7)
+        for item in [1] * 50 + [2] * 30:
+            a.update(item)
+        for item in [1] * 20 + [3] * 10:
+            b.update(item)
+        estimate = a.join_size(b, 0, max(a.now, b.now))
+        assert estimate == pytest.approx(50 * 20, rel=0.3)
+
+
+class TestAccounting:
+    def test_space_cliff(self):
+        """Counters that never exceed delta cost nothing (Figure 3b)."""
+        sketch = PWCAMS(width=256, depth=4, delta=1000, seed=5)
+        for item in range(200):  # every counter stays at +-1
+            sketch.update(item)
+        assert sketch.persistence_words() == 0
+
+    def test_words_positive_when_recording(self, ingested):
+        _, _, sketch = ingested
+        assert sketch.persistence_words() > 0
+        assert sketch.ephemeral_words() == 1024 * 5
+
+    def test_name(self):
+        assert PWCAMS.name == "PWC_AMS"

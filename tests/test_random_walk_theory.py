@@ -1,0 +1,79 @@
+"""Empirical validation of the appendix's random-walk lemma.
+
+Lemma A.1: for a counter whose deviation from its trend line performs a
+lazy random walk with per-step variance ``alpha``, the escape time from
+a ``+-Delta`` tube satisfies ``E[tau] = Delta^2 / alpha`` with variance
+at most ``5 Delta^4 / (6 alpha^2)``.  This is the engine behind Theorem
+3.3's ``m / Delta^2`` space bound; we validate the scaling and the
+concentration by direct simulation of the walk the proof analyses.
+"""
+
+import numpy as np
+import pytest
+
+
+def escape_time(delta: float, p1: float, p2: float, rng, max_steps=10**6) -> int:
+    """Steps until the deviation walk leaves (-delta, +delta)."""
+    drift = p1 - p2
+    position = 0.0
+    draws = rng.random(max_steps)
+    for step in range(max_steps):
+        u = draws[step]
+        if u < p1:
+            position += 1.0 - drift
+        elif u < p1 + p2:
+            position += -1.0 - drift
+        else:
+            position += -drift
+        if abs(position) >= delta:
+            return step + 1
+    return max_steps
+
+
+class TestLemmaA1:
+    @pytest.mark.parametrize("p1,p2", [(0.5, 0.0), (0.3, 0.3), (0.2, 0.05)])
+    def test_mean_escape_time_quadratic_in_delta(self, p1, p2):
+        """E[tau] = Delta^2 / alpha: quadrupling when Delta doubles."""
+        rng = np.random.default_rng(hash((p1, p2)) % 2**32)
+        runs = 60
+
+        def mean_tau(delta):
+            return np.mean(
+                [escape_time(delta, p1, p2, rng) for _ in range(runs)]
+            )
+
+        tau_small = mean_tau(8.0)
+        tau_large = mean_tau(16.0)
+        ratio = tau_large / tau_small
+        # Expect ~4; accept 2.5..6 at this sample size.
+        assert 2.5 <= ratio <= 6.0
+
+    def test_mean_matches_alpha_formula(self):
+        """E[tau] ~ Delta^2 / alpha with alpha = E[X^2] of the step."""
+        p1, p2 = 0.4, 0.2
+        drift = p1 - p2
+        alpha = (
+            p1 * (1 - drift) ** 2
+            + p2 * (-1 - drift) ** 2
+            + (1 - p1 - p2) * drift**2
+        )
+        delta = 12.0
+        rng = np.random.default_rng(7)
+        taus = [escape_time(delta, p1, p2, rng) for _ in range(80)]
+        expected = delta**2 / alpha
+        assert np.mean(taus) == pytest.approx(expected, rel=0.35)
+
+    def test_concentration(self):
+        """Var[tau] <= 5 Delta^4 / (6 alpha^2) (allowing sampling noise):
+        the walk does not escape much earlier than the mean, which is
+        what makes Theorem 3.3's expectation meaningful."""
+        p1 = p2 = 0.3
+        alpha = p1 + p2  # drift 0: alpha = E[X^2] = p1 + p2
+        delta = 10.0
+        rng = np.random.default_rng(11)
+        taus = np.array(
+            [escape_time(delta, p1, p2, rng) for _ in range(150)],
+            dtype=float,
+        )
+        bound = 5 * delta**4 / (6 * alpha**2)
+        assert taus.var() <= 2.0 * bound

@@ -1,0 +1,83 @@
+"""Tests for the dyadic range-sum and windowed top-k extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.heavy_hitters import PersistentHeavyHitters
+from repro.streams.model import Stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def structure():
+    rng = np.random.default_rng(91)
+    items = rng.integers(0, 200, size=5000)
+    items[::5] = 7  # a clear top item
+    items[1::9] = 120
+    stream = Stream(items=items, universe=256)
+    truth = GroundTruth(stream)
+    hh = PersistentHeavyHitters(universe=256, width=256, depth=4, delta=10)
+    hh.ingest(stream)
+    return stream, truth, hh
+
+
+class TestRangeSum:
+    def test_full_universe_equals_mass(self, structure):
+        stream, truth, hh = structure
+        estimate = hh.range_sum(0, 255)
+        assert estimate == pytest.approx(len(stream), rel=0.05)
+
+    def test_window_ranges(self, structure):
+        stream, truth, hh = structure
+        s, t = 1000, 4000
+        for lo, hi in [(0, 63), (7, 7), (100, 140), (50, 199), (200, 255)]:
+            actual = sum(
+                truth.frequency(item, s, t) for item in range(lo, hi + 1)
+            )
+            estimate = hh.range_sum(lo, hi, s, t)
+            # ~2 log n point queries, each with eps*L1 + delta error.
+            slack = 16 * (10 + 0.02 * truth.window_l1(s, t))
+            assert abs(estimate - actual) <= slack
+
+    def test_single_item_range_matches_point(self, structure):
+        _, _, hh = structure
+        assert hh.range_sum(7, 7) == hh.point(7)
+
+    def test_invalid_ranges(self, structure):
+        _, _, hh = structure
+        with pytest.raises(ValueError):
+            hh.range_sum(-1, 5)
+        with pytest.raises(ValueError):
+            hh.range_sum(0, 256)
+
+    def test_unaligned_range_decomposition(self, structure):
+        """Ranges that force many dyadic blocks still work."""
+        stream, truth, hh = structure
+        actual = sum(truth.frequency(item) for item in range(3, 250))
+        estimate = hh.range_sum(3, 249)
+        assert estimate == pytest.approx(actual, rel=0.2, abs=200)
+
+
+class TestTopK:
+    def test_top1_is_planted_item(self, structure):
+        _, truth, hh = structure
+        top = hh.top_k(1)
+        assert top[0][0] == 7
+
+    def test_topk_matches_truth(self, structure):
+        _, truth, hh = structure
+        estimated = [item for item, _ in hh.top_k(2)]
+        actual = [item for item, _ in truth.top_k(2)]
+        assert estimated == actual
+
+    def test_topk_window(self, structure):
+        _, truth, hh = structure
+        s, t = 2000, 4500
+        estimated = [item for item, _ in hh.top_k(2, s, t)]
+        actual = [item for item, _ in truth.top_k(2, s, t)]
+        assert set(estimated) == set(actual)
+
+    def test_k_validation(self, structure):
+        _, _, hh = structure
+        with pytest.raises(ValueError):
+            hh.top_k(0)

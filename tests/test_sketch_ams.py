@@ -1,0 +1,135 @@
+"""Tests for the ephemeral fast AMS / Count sketch."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.ams import AMSSketch
+from repro.sketch.exact import ExactFrequency
+from repro.sketch.l2_tracker import L2Tracker
+from repro.streams.generators import zipf_stream
+
+
+def build_pair(seed_data=1, width=1024, depth=5):
+    stream_a = zipf_stream(3000, universe=2**16, exponent=2.0, seed=seed_data)
+    stream_b = zipf_stream(3000, universe=2**16, exponent=2.0, seed=seed_data)
+    a = AMSSketch(width=width, depth=depth, seed=9)
+    b = AMSSketch(width=width, depth=depth, seed=9)
+    exact_a, exact_b = ExactFrequency(), ExactFrequency()
+    for item in stream_a.items:
+        a.update(int(item))
+        exact_a.update(int(item))
+    for item in stream_b.items:
+        b.update(int(item))
+        exact_b.update(int(item))
+    return a, b, exact_a, exact_b
+
+
+class TestSelfJoin:
+    def test_self_join_accuracy(self):
+        a, _, exact_a, _ = build_pair()
+        truth = exact_a.self_join_size()
+        eps = 2.0 / np.sqrt(1024)
+        assert abs(a.self_join_size() - truth) <= eps * truth
+
+    def test_l2_norm(self):
+        a, _, exact_a, _ = build_pair()
+        truth = exact_a.self_join_size() ** 0.5
+        assert a.l2_norm() == pytest.approx(truth, rel=0.1)
+
+    def test_empty_sketch(self):
+        sketch = AMSSketch(width=16, depth=3)
+        assert sketch.self_join_size() == 0.0
+        assert sketch.l2_norm() == 0.0
+
+
+class TestJoin:
+    def test_join_size_accuracy(self):
+        a, b, exact_a, exact_b = build_pair()
+        truth = exact_a.join_size(exact_b)
+        eps = 2.0 / np.sqrt(1024)
+        bound = eps * (exact_a.self_join_size() * exact_b.self_join_size()) ** 0.5
+        assert abs(a.join_size(b) - truth) <= bound
+
+    def test_join_requires_shared_hashes(self):
+        a = AMSSketch(width=64, depth=3, seed=1)
+        b = AMSSketch(width=64, depth=3, seed=2)
+        with pytest.raises(ValueError):
+            a.join_size(b)
+
+    def test_join_requires_same_shape(self):
+        a = AMSSketch(width=64, depth=3, seed=1)
+        b = AMSSketch(width=32, depth=3, seed=1)
+        with pytest.raises(ValueError):
+            a.join_size(b)
+
+
+class TestPoint:
+    def test_point_estimates_track_truth(self):
+        a, _, exact_a, _ = build_pair()
+        eps = 2.0 / np.sqrt(1024)
+        bound = eps * exact_a.self_join_size() ** 0.5
+        for item, freq in exact_a.top_k(20):
+            assert abs(a.point(item) - freq) <= 3 * bound
+
+    def test_turnstile_deletions_cancel(self):
+        sketch = AMSSketch(width=256, depth=5, seed=3)
+        for _ in range(5):
+            sketch.update(7, 1)
+        for _ in range(5):
+            sketch.update(7, -1)
+        assert sketch.point(7) == 0.0
+        assert sketch.self_join_size() == 0.0
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        a = AMSSketch(width=128, depth=4, seed=5)
+        b = AMSSketch(width=128, depth=4, seed=5)
+        union = AMSSketch(width=128, depth=4, seed=5)
+        for item in [1, 2, 3]:
+            a.update(item)
+            union.update(item)
+        for item in [3, 4]:
+            b.update(item)
+            union.update(item)
+        a.merge(b)
+        assert (a.counters == union.counters).all()
+
+    def test_merge_mismatch(self):
+        a = AMSSketch(width=128, depth=4, seed=5)
+        b = AMSSketch(width=128, depth=4, seed=6)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestFromError:
+    def test_shape(self):
+        sketch = AMSSketch.from_error(eps=0.1, delta=0.05)
+        assert sketch.width >= 400
+        assert sketch.depth >= 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            AMSSketch.from_error(eps=0, delta=0.1)
+
+
+class TestL2Tracker:
+    def test_constant_factor_tracking(self):
+        stream = zipf_stream(5000, universe=2**16, exponent=2.0, seed=4)
+        tracker = L2Tracker(expected_length=5000, seed=2)
+        exact = ExactFrequency()
+        checkpoints = []
+        for idx, item in enumerate(stream.items, start=1):
+            tracker.update(int(item))
+            exact.update(int(item))
+            if idx % 500 == 0:
+                truth = exact.self_join_size() ** 0.5
+                checkpoints.append((tracker.estimate(), truth))
+        for estimate, truth in checkpoints:
+            assert truth / 2 <= estimate <= truth * 2
+
+    def test_empty(self):
+        assert L2Tracker().estimate() == 0.0
+
+    def test_words_positive(self):
+        assert L2Tracker(expected_length=1000).words() > 0

@@ -1,0 +1,119 @@
+"""Tests for the ephemeral Count-Min sketch."""
+
+import pytest
+
+from repro.hashing import BucketHashFamily, HashConfig
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.exact import ExactFrequency
+from repro.streams.generators import zipf_stream
+
+
+class TestBasics:
+    def test_point_never_underestimates(self, small_zipf, small_zipf_truth):
+        sketch = CountMinSketch(width=512, depth=5, seed=1)
+        for item in small_zipf.items:
+            sketch.update(int(item))
+        for item, freq in small_zipf_truth.top_k(100):
+            assert sketch.point(item) >= freq
+
+    def test_point_error_bound(self, small_zipf, small_zipf_truth):
+        sketch = CountMinSketch(width=512, depth=5, seed=1)
+        for item in small_zipf.items:
+            sketch.update(int(item))
+        # eps = e/w; error <= eps * ||f||_1 whp per query.
+        bound = 2.718281828 / 512 * len(small_zipf)
+        for item, freq in small_zipf_truth.top_k(100):
+            assert sketch.point(item) - freq <= bound
+
+    def test_exact_when_no_collisions(self):
+        sketch = CountMinSketch(width=4096, depth=5, seed=2)
+        exact = ExactFrequency()
+        for item in [1, 2, 3, 1, 2, 1]:
+            sketch.update(item)
+            exact.update(item)
+        for item in (1, 2, 3):
+            assert sketch.point(item) == exact.point(item)
+        assert sketch.point(99) == 0
+
+    def test_total_tracks_updates(self):
+        sketch = CountMinSketch(width=16, depth=2)
+        sketch.update(1)
+        sketch.update(2, count=3)
+        assert sketch.total == 4
+
+    def test_weighted_updates(self):
+        sketch = CountMinSketch(width=1024, depth=4, seed=3)
+        sketch.update(5, count=10)
+        assert sketch.point(5) >= 10
+
+
+class TestTurnstile:
+    def test_median_handles_deletions(self):
+        sketch = CountMinSketch(width=1024, depth=5, seed=4)
+        for _ in range(10):
+            sketch.update(1, 1)
+        for _ in range(4):
+            sketch.update(1, -1)
+        assert sketch.point_median(1) == pytest.approx(6, abs=1)
+
+
+class TestFromError:
+    def test_shape_from_error(self):
+        sketch = CountMinSketch.from_error(eps=0.01, delta=0.01)
+        assert sketch.width >= 271  # e / 0.01
+        assert sketch.depth >= 4
+
+    @pytest.mark.parametrize("eps,delta", [(0, 0.1), (0.1, 0), (1.5, 0.1)])
+    def test_invalid_params(self, eps, delta):
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error(eps=eps, delta=delta)
+
+
+class TestMergeAndJoin:
+    def test_merge_equals_union_stream(self):
+        a = CountMinSketch(width=256, depth=4, seed=5)
+        b = CountMinSketch(width=256, depth=4, seed=5)
+        combined = CountMinSketch(width=256, depth=4, seed=5)
+        for item in [1, 2, 3, 4]:
+            a.update(item)
+            combined.update(item)
+        for item in [3, 4, 5]:
+            b.update(item)
+            combined.update(item)
+        a.merge(b)
+        assert (a.counters == combined.counters).all()
+        assert a.total == combined.total
+
+    def test_merge_shape_mismatch(self):
+        a = CountMinSketch(width=256, depth=4)
+        b = CountMinSketch(width=128, depth=4)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_inner_product_upper_bounds_join(self):
+        stream = zipf_stream(2000, universe=2**16, exponent=2.0, seed=9)
+        a = CountMinSketch(width=512, depth=4, seed=6)
+        b = CountMinSketch(width=512, depth=4, seed=6)
+        exact_a, exact_b = ExactFrequency(), ExactFrequency()
+        for i, item in enumerate(stream.items):
+            target = (a, exact_a) if i % 2 == 0 else (b, exact_b)
+            target[0].update(int(item))
+            target[1].update(int(item))
+        true_join = exact_a.join_size(exact_b)
+        assert a.inner_product(b) >= true_join
+
+
+class TestHashSharing:
+    def test_prebuilt_family(self):
+        family = BucketHashFamily(HashConfig(width=64, depth=3, seed=7))
+        sketch = CountMinSketch(width=64, depth=3, hashes=family)
+        sketch.update(1)
+        assert sketch.point(1) >= 1
+
+    def test_family_shape_mismatch(self):
+        family = BucketHashFamily(HashConfig(width=64, depth=3, seed=7))
+        with pytest.raises(ValueError):
+            CountMinSketch(width=32, depth=3, hashes=family)
+
+    def test_words(self):
+        assert CountMinSketch(width=64, depth=3).words() == 192

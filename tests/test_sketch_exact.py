@@ -1,0 +1,50 @@
+"""Tests for the exact frequency baseline."""
+
+from repro.sketch.exact import ExactFrequency
+
+
+class TestExactFrequency:
+    def test_point_and_total(self):
+        exact = ExactFrequency()
+        exact.update_many([1, 2, 1, 3, 1])
+        assert exact.point(1) == 3
+        assert exact.point(2) == 1
+        assert exact.point(9) == 0
+        assert exact.total == 5
+        assert len(exact) == 3
+
+    def test_deletion_removes_key(self):
+        exact = ExactFrequency()
+        exact.update(1)
+        exact.update(1, -1)
+        assert exact.point(1) == 0
+        assert len(exact) == 0
+
+    def test_norms(self):
+        exact = ExactFrequency()
+        exact.update_many([1, 1, 2])
+        assert exact.l1_norm() == 3
+        assert exact.self_join_size() == 5  # 2^2 + 1^2
+
+    def test_join_size_symmetry(self):
+        a, b = ExactFrequency(), ExactFrequency()
+        a.update_many([1, 1, 2, 3])
+        b.update_many([1, 2, 2, 4])
+        assert a.join_size(b) == b.join_size(a) == 2 * 1 + 1 * 2
+
+    def test_heavy_hitters(self):
+        exact = ExactFrequency()
+        exact.update_many([1] * 60 + [2] * 30 + [3] * 10)
+        heavy = exact.heavy_hitters(phi=0.25)
+        assert set(heavy) == {1, 2}
+        assert heavy[1] == 60
+
+    def test_top_k(self):
+        exact = ExactFrequency()
+        exact.update_many([1] * 3 + [2] * 2 + [3])
+        assert exact.top_k(2) == [(1, 3), (2, 2)]
+
+    def test_items_iteration(self):
+        exact = ExactFrequency()
+        exact.update_many([5, 5, 6])
+        assert dict(exact.items()) == {5: 2, 6: 1}

@@ -1,0 +1,88 @@
+"""Empirical validation of the paper's space theorems.
+
+The appendix proofs (martingale / optional stopping machinery) are
+analysis, not system; these tests check their *conclusions* on synthetic
+streams drawn from the random stream model of Definition 3.1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.historical_countmin import HistoricalCountMin
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin
+from repro.pla.orourke import OnlinePLA
+from repro.streams.generators import uniform_stream, zipf_stream
+
+
+def pla_segments_for_walk(m: int, p: float, delta: float, seed: int) -> int:
+    """Segments to track one counter hit with probability p per tick."""
+    rng = np.random.default_rng(seed)
+    pla = OnlinePLA(delta=delta)
+    v = 0
+    hits = rng.random(m) < p
+    for t in np.flatnonzero(hits):
+        v += 1
+        pla.feed(int(t) + 1, float(v))
+    return len(pla.finalize())
+
+
+class TestTheorem33:
+    """PLA space is O(m / Delta^2) in the random stream model."""
+
+    def test_quadratic_delta_scaling(self):
+        """Doubling Delta should cut segments ~4x (allowing noise)."""
+        m, p = 200_000, 0.5
+        seg_small = sum(
+            pla_segments_for_walk(m, p, delta=6.0, seed=s) for s in range(3)
+        )
+        seg_large = sum(
+            pla_segments_for_walk(m, p, delta=12.0, seed=s) for s in range(3)
+        )
+        assert seg_small > 0
+        # Expect ~4x; require clearly super-linear improvement (> 2.5x).
+        assert seg_small >= 2.5 * seg_large
+
+    def test_far_below_worst_case(self):
+        """On a random stream, total PLA segments are << m / Delta."""
+        stream = uniform_stream(20_000, universe=64, seed=5)
+        sketch = PersistentCountMin(width=64, depth=3, delta=20, seed=1)
+        sketch.ingest(stream)
+        sketch.finalize()
+        worst_case_words = 3 * sketch.depth * len(stream) / sketch.delta
+        assert sketch.persistence_words() < worst_case_words / 2
+
+
+class TestSampleSpace:
+    """Sample space is Theta(m / Delta) regardless of distribution."""
+
+    @pytest.mark.parametrize("make", [
+        lambda: uniform_stream(20_000, universe=512, seed=6),
+        lambda: zipf_stream(20_000, exponent=3.0, seed=6),
+    ])
+    def test_matches_expectation(self, make):
+        stream = make()
+        delta = 25
+        sketch = PersistentAMS(
+            width=256, depth=4, delta=delta, seed=2, independent_copies=1
+        )
+        sketch.ingest(stream)
+        expected_words = 2 * sketch.depth * len(stream) / delta
+        assert sketch.persistence_words() == pytest.approx(
+            expected_words, rel=0.2
+        )
+
+
+class TestTheorem53:
+    """Historical CM space is O(1/eps^2) in the random stream model —
+    crucially, roughly independent of the stream length."""
+
+    def test_space_grows_sublinearly_with_m(self):
+        sizes = []
+        for m in (4000, 16000):
+            stream = uniform_stream(m, universe=256, seed=7)
+            sketch = HistoricalCountMin(width=256, depth=3, eps=0.05, seed=3)
+            sketch.ingest(stream)
+            sizes.append(sketch.persistence_words())
+        # 4x the stream should cost far less than 4x the space.
+        assert sizes[1] < 2.5 * sizes[0]

@@ -1,0 +1,156 @@
+"""Tests for the multi-stream sketch store facade."""
+
+import pytest
+
+from repro.store import SketchStore, StreamSpec
+from repro.streams.generators import zipf_stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture()
+def store():
+    return SketchStore(width=512, depth=4, join_width=1024, seed=5)
+
+
+def filled_store():
+    store = SketchStore(width=512, depth=4, join_width=1024, seed=5)
+    store.create(
+        StreamSpec(name="urls", delta=8, universe=256, heavy_hitters=True,
+                   joinable=True)
+    )
+    store.create(StreamSpec(name="clicks", delta=8, joinable=True))
+    url_stream = zipf_stream(3000, universe=200, exponent=2.0, seed=88)
+    click_stream = zipf_stream(3000, universe=200, exponent=2.0, seed=88)
+    for t, item in enumerate(url_stream.items, start=1):
+        store.update("urls", int(item), time=t)
+    for t, item in enumerate(click_stream.items, start=1):
+        store.update("clicks", int(item), time=t)
+    return store, GroundTruth(url_stream), GroundTruth(click_stream)
+
+
+class TestSpecs:
+    def test_invalid_names(self):
+        with pytest.raises(ValueError):
+            StreamSpec(name="", delta=5)
+        with pytest.raises(ValueError):
+            StreamSpec(name="a/b", delta=5)
+
+    def test_hh_requires_universe(self):
+        with pytest.raises(ValueError):
+            StreamSpec(name="x", delta=5, heavy_hitters=True)
+
+    def test_duplicate_stream(self, store):
+        store.create(StreamSpec(name="s", delta=4))
+        with pytest.raises(ValueError):
+            store.create(StreamSpec(name="s", delta=4))
+
+    def test_unknown_stream(self, store):
+        with pytest.raises(KeyError):
+            store.point("nope", 1)
+
+
+class TestQueries:
+    def test_point_and_window(self):
+        store, truth, _ = filled_store()
+        item, freq = truth.top_k(1)[0]
+        assert store.point("urls", item) == pytest.approx(freq, abs=20)
+        windowed = truth.frequency(item, 1000, 2000)
+        assert store.point("urls", item, 1000, 2000) == pytest.approx(
+            windowed, abs=20
+        )
+
+    def test_heavy_hitters_and_topk(self):
+        store, truth, _ = filled_store()
+        actual = truth.heavy_hitters(0.05, 500, 2500)
+        found = store.heavy_hitters("urls", 0.05, 500, 2500)
+        assert set(actual) <= set(found)
+        top = store.top_k("urls", 3, 0, 3000)
+        assert [item for item, _ in top[:1]] == [truth.top_k(1)[0][0]]
+
+    def test_hh_disabled_raises(self):
+        store, _, _ = filled_store()
+        with pytest.raises(ValueError):
+            store.heavy_hitters("clicks", 0.1)
+        with pytest.raises(ValueError):
+            store.top_k("clicks", 3)
+
+    def test_join_between_streams(self):
+        store, url_truth, click_truth = filled_store()
+        actual = url_truth.join_size(click_truth, 600, 2400)
+        estimate = store.join_size("urls", "clicks", 600, 2400)
+        assert estimate == pytest.approx(actual, rel=0.3)
+
+    def test_self_join(self):
+        store, truth, _ = filled_store()
+        actual = truth.self_join_size(0, 3000)
+        assert store.self_join_size("urls") == pytest.approx(actual, rel=0.3)
+
+    def test_join_requires_joinable(self, store):
+        store.create(StreamSpec(name="plain", delta=4))
+        store.create(StreamSpec(name="other", delta=4, joinable=True))
+        with pytest.raises(ValueError):
+            store.join_size("plain", "other")
+        with pytest.raises(ValueError):
+            store.self_join_size("plain")
+
+    def test_space_accounting(self):
+        store, _, _ = filled_store()
+        assert store.persistence_words() > 0
+        assert store.streams() == ["clicks", "urls"]
+
+
+class TestDurability:
+    def test_save_open_roundtrip(self, tmp_path):
+        store, truth, click_truth = filled_store()
+        directory = store.save(tmp_path / "store")
+        reopened = SketchStore.open(directory)
+        assert reopened.streams() == store.streams()
+        item, _ = truth.top_k(1)[0]
+        assert reopened.point("urls", item, 500, 2500) == store.point(
+            "urls", item, 500, 2500
+        )
+        assert reopened.join_size("urls", "clicks", 0, 3000) == (
+            store.join_size("urls", "clicks", 0, 3000)
+        )
+        assert reopened.heavy_hitters("urls", 0.05).keys() == (
+            store.heavy_hitters("urls", 0.05).keys()
+        )
+
+    def test_open_rejects_non_store(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"format": "x"}')
+        with pytest.raises(ValueError):
+            SketchStore.open(tmp_path)
+
+    def test_quantiles_roundtrip(self, tmp_path):
+        store = SketchStore(width=256, depth=3, join_width=256, seed=2)
+        store.create(
+            StreamSpec(name="readings", delta=4, universe=512, quantiles=True)
+        )
+        for t in range(1, 1001):
+            store.update("readings", (t * 7) % 400, time=t)
+        median = store.quantile("readings", 0.5)
+        assert 150 <= median <= 250  # values spread over [0, 400)
+        assert store.rank("readings", 399) == pytest.approx(1000, rel=0.1)
+        # HH queries stay gated on the heavy_hitters flag.
+        with pytest.raises(ValueError):
+            store.heavy_hitters("readings", 0.1)
+        reopened = SketchStore.open(store.save(tmp_path / "q"))
+        assert reopened.quantile("readings", 0.5) == median
+
+    def test_quantiles_requires_flag(self):
+        store = SketchStore(width=64, depth=2, join_width=64)
+        store.create(StreamSpec(name="plain", delta=4))
+        with pytest.raises(ValueError):
+            store.quantile("plain", 0.5)
+
+    def test_quantiles_requires_universe(self):
+        with pytest.raises(ValueError):
+            StreamSpec(name="x", delta=4, quantiles=True)
+
+    def test_continued_ingest_after_open(self, tmp_path):
+        store, _, _ = filled_store()
+        reopened = SketchStore.open(store.save(tmp_path / "s"))
+        reopened.update("urls", 3, time=3001)
+        assert reopened.point("urls", 3, 3000, 3001) == pytest.approx(
+            1, abs=17
+        )

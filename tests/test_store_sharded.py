@@ -1,0 +1,94 @@
+"""Tests for time-sharded persistent sketching with retention."""
+
+import pytest
+
+from repro.store.sharded import ShardedPersistentSketch
+from repro.streams.generators import zipf_stream
+from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture()
+def sharded():
+    return ShardedPersistentSketch(
+        shard_length=1000, width=512, depth=4, delta=8, seed=3
+    )
+
+
+class TestBasics:
+    def test_shard_routing(self, sharded):
+        sharded.update(1, time=1)
+        sharded.update(1, time=1000)
+        sharded.update(1, time=1001)
+        assert sharded.shard_count == 2
+
+    def test_invalid_shard_length(self):
+        with pytest.raises(ValueError):
+            ShardedPersistentSketch(shard_length=0, width=8, depth=2, delta=2)
+
+    def test_point_within_one_shard(self, sharded):
+        for t in range(1, 501):
+            sharded.update(9, time=t)
+        assert sharded.point(9, 0, 500) == pytest.approx(500, abs=20)
+
+    def test_point_across_shards(self):
+        stream = zipf_stream(5000, universe=2**14, exponent=2.0, seed=77)
+        truth = GroundTruth(stream)
+        sharded = ShardedPersistentSketch(
+            shard_length=1000, width=1024, depth=5, delta=8, seed=3
+        )
+        sharded.ingest(stream)
+        assert sharded.shard_count == 5
+        for s, t in [(0, 5000), (500, 3500), (1000, 2000), (2499, 2501)]:
+            for item, freq in truth.top_k(5, s, t):
+                estimate = sharded.point(item, s, t)
+                # Each overlapped shard contributes up to ~2*delta + eps*L1.
+                shards_touched = (t - s) // 1000 + 2
+                slack = shards_touched * (2 * 8 + 2) + 0.01 * (t - s)
+                assert abs(estimate - freq) <= slack
+
+    def test_empty_window_regions(self, sharded):
+        sharded.update(5, time=100)
+        sharded.update(5, time=9000)  # shards 0 and 8; 1-7 never created
+        assert sharded.point(5, 0, 9000) == pytest.approx(2, abs=2)
+        assert sharded.shard_count == 2
+
+
+class TestRetention:
+    def test_drop_before(self, sharded):
+        for t in range(1, 5001):
+            sharded.update(4, time=t)
+        assert sharded.shard_count == 5
+        dropped = sharded.drop_before(2000)  # shards 0 and 1 end by 2000
+        assert dropped == 2
+        assert sharded.shard_count == 3
+        # Recent windows still answer.
+        assert sharded.point(4, 2000, 5000) == pytest.approx(3000, abs=60)
+
+    def test_query_into_expired_history_raises(self, sharded):
+        for t in range(1, 3001):
+            sharded.update(4, time=t)
+        sharded.drop_before(1000)
+        with pytest.raises(ValueError):
+            sharded.point(4, 0, 3000)
+
+    def test_ingest_into_expired_shard_raises(self, sharded):
+        for t in range(1, 2001):
+            sharded.update(4, time=t)
+        sharded.drop_before(1000)
+        # The sketch clock already rejects old times; the shard check is
+        # the backstop for fresh sketches after open().
+        with pytest.raises(ValueError):
+            sharded.update(4, time=500)
+
+    def test_space_bounded_under_retention(self):
+        """Rolling retention keeps total space bounded as time passes."""
+        sharded = ShardedPersistentSketch(
+            shard_length=500, width=256, depth=3, delta=4, seed=1
+        )
+        sizes = []
+        for t in range(1, 10_001):
+            sharded.update(t % 97, time=t)
+            if t % 2000 == 0:
+                sharded.drop_before(t - 1000)
+                sizes.append(sharded.shard_count)
+        assert max(sizes) <= 4

@@ -1,0 +1,132 @@
+"""Tests for the synthetic stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.exact import ExactFrequency
+from repro.streams.generators import (
+    turnstile_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.streams.worldcup import client_id_stream, object_id_stream
+
+
+class TestZipf:
+    def test_determinism(self):
+        a = zipf_stream(1000, seed=5)
+        b = zipf_stream(1000, seed=5)
+        assert np.array_equal(a.items, b.items)
+
+    def test_different_seeds_differ(self):
+        a = zipf_stream(1000, seed=5)
+        b = zipf_stream(1000, seed=6)
+        assert not np.array_equal(a.items, b.items)
+
+    def test_items_within_universe(self):
+        stream = zipf_stream(2000, universe=2**20, seed=1)
+        assert stream.items.min() >= 0
+        assert stream.items.max() < 2**20
+
+    def test_skew_concentrates_mass(self):
+        stream = zipf_stream(20_000, exponent=3.0, seed=2)
+        exact = ExactFrequency()
+        exact.update_many(int(i) for i in stream.items)
+        top = exact.top_k(1)[0][1]
+        # Zipf(3): the top item carries ~83% of the mass.
+        assert top > 0.6 * len(stream)
+
+    def test_lower_exponent_less_skewed(self):
+        heavy = zipf_stream(20_000, exponent=3.0, seed=3)
+        light = zipf_stream(20_000, exponent=1.2, seed=3)
+
+        def top_share(stream):
+            exact = ExactFrequency()
+            exact.update_many(int(i) for i in stream.items)
+            return exact.top_k(1)[0][1] / len(stream)
+
+        assert top_share(light) < top_share(heavy)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_stream(-1)
+
+
+class TestUniform:
+    def test_near_uniform_frequencies(self):
+        stream = uniform_stream(10_000, universe=100, seed=4)
+        exact = ExactFrequency()
+        exact.update_many(int(i) for i in stream.items)
+        top = exact.top_k(1)[0][1]
+        assert top < 3 * len(stream) / 100
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_stream(-5)
+
+
+class TestTurnstile:
+    def test_frequencies_stay_non_negative(self):
+        stream = turnstile_stream(5000, universe=64, seed=7)
+        exact = ExactFrequency()
+        running = {}
+        for update in stream:
+            exact.update(update.item, update.count)
+            running[update.item] = running.get(update.item, 0) + update.count
+            assert running[update.item] >= 0
+
+    def test_contains_deletions(self):
+        stream = turnstile_stream(
+            5000, universe=64, deletion_probability=0.4, seed=8
+        )
+        assert (stream.counts == -1).sum() > 500
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            turnstile_stream(10, deletion_probability=1.0)
+
+
+class TestWorldCupProfiles:
+    def test_object_id_hot_concentration(self):
+        stream = object_id_stream(30_000, seed=11)
+        exact = ExactFrequency()
+        exact.update_many(int(i) for i in stream.items)
+        top500 = sum(freq for _, freq in exact.top_k(500))
+        # The paper: "most frequencies concentrating on around 500 items".
+        assert top500 > 0.6 * len(stream)
+
+    def test_object_id_has_long_tail(self):
+        stream = object_id_stream(30_000, seed=11)
+        exact = ExactFrequency()
+        exact.update_many(int(i) for i in stream.items)
+        assert len(exact) > 3000
+
+    def test_client_id_near_uniform(self):
+        stream = client_id_stream(30_000, seed=12)
+        exact = ExactFrequency()
+        exact.update_many(int(i) for i in stream.items)
+        max_freq = exact.top_k(1)[0][1]
+        # The paper: max frequency is a tiny fraction of the stream
+        # (14645 of 7M ~ 0.2%); allow up to 2%.
+        assert max_freq < 0.02 * len(stream)
+        assert len(exact) > len(stream) // 20
+
+    def test_determinism(self):
+        a = object_id_stream(2000, seed=13)
+        b = object_id_stream(2000, seed=13)
+        assert np.array_equal(a.items, b.items)
+
+    def test_stationary_variant(self):
+        stream = object_id_stream(2000, seed=14, drift=0.0)
+        assert len(stream) == 2000
+
+    @pytest.mark.parametrize("factory", [object_id_stream, client_id_stream])
+    def test_invalid_params(self, factory):
+        with pytest.raises(ValueError):
+            factory(-1)
+
+    def test_hot_mass_validation(self):
+        with pytest.raises(ValueError):
+            object_id_stream(100, hot_mass=1.5)
+        with pytest.raises(ValueError):
+            client_id_stream(100, proxy_mass=-0.1)

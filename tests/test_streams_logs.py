@@ -1,0 +1,112 @@
+"""Tests for log-file ingestion (binary WorldCup format and CSV)."""
+
+import pytest
+
+from repro.sketch.exact import ExactFrequency
+from repro.streams.logs import (
+    STREAMABLE_ATTRIBUTES,
+    WorldCupRecord,
+    attribute_stream,
+    read_csv_stream,
+    read_worldcup_log,
+    synthesize_worldcup_log,
+    write_csv_stream,
+    write_worldcup_log,
+)
+from repro.streams.model import Stream
+
+
+class TestRecordFormat:
+    def test_pack_unpack_roundtrip(self):
+        record = WorldCupRecord(
+            timestamp=894_000_123,
+            client_id=42,
+            object_id=9999,
+            size=2048,
+            method=0,
+            status=200,
+            doc_type=3,
+            server=17,
+        )
+        assert WorldCupRecord.unpack(record.pack()) == record
+        assert len(record.pack()) == 20
+
+    def test_log_roundtrip(self, tmp_path):
+        records = synthesize_worldcup_log(500, seed=3)
+        path = tmp_path / "day46.log"
+        assert write_worldcup_log(records, path) == 500
+        assert path.stat().st_size == 500 * 20
+        assert list(read_worldcup_log(path)) == records
+
+    def test_truncated_log_rejected(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_bytes(b"\x00" * 30)  # 1.5 records
+        with pytest.raises(ValueError):
+            list(read_worldcup_log(path))
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "empty.log"
+        write_worldcup_log([], path)
+        assert list(read_worldcup_log(path)) == []
+
+
+class TestSynthesis:
+    def test_timestamps_non_decreasing(self):
+        records = synthesize_worldcup_log(300, seed=4)
+        stamps = [r.timestamp for r in records]
+        assert stamps == sorted(stamps)
+
+    def test_object_profile_skewed(self):
+        records = synthesize_worldcup_log(5000, seed=5)
+        exact = ExactFrequency()
+        exact.update_many(r.object_id for r in records)
+        top500 = sum(freq for _, freq in exact.top_k(500))
+        assert top500 > 0.6 * len(records)
+
+    def test_deterministic(self):
+        assert synthesize_worldcup_log(100, seed=6) == synthesize_worldcup_log(
+            100, seed=6
+        )
+
+
+class TestAttributeStream:
+    def test_projection(self):
+        records = synthesize_worldcup_log(200, seed=7)
+        stream = attribute_stream(records, "object_id")
+        assert len(stream) == 200
+        assert list(stream.items) == [r.object_id for r in records]
+        # Discrete time model: consecutive ticks.
+        assert list(stream.times) == list(range(1, 201))
+
+    @pytest.mark.parametrize("attribute", STREAMABLE_ATTRIBUTES)
+    def test_all_attributes_streamable(self, attribute):
+        records = synthesize_worldcup_log(50, seed=8)
+        assert len(attribute_stream(records, attribute)) == 50
+
+    def test_unknown_attribute(self):
+        with pytest.raises(ValueError):
+            attribute_stream([], "timestamp")
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        stream = Stream(items=[5, 6, 5], times=[10, 20, 30])
+        path = tmp_path / "log.csv"
+        assert write_csv_stream(stream, path) == 3
+        loaded = read_csv_stream(path, item_column="item", time_column="time")
+        assert list(loaded.items) == [5, 6, 5]
+        assert list(loaded.times) == [10, 20, 30]
+
+    def test_default_ticks_without_time_column(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("key\n7\n8\n")
+        loaded = read_csv_stream(path, item_column="key")
+        assert list(loaded.times) == [1, 2]
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            read_csv_stream(path, item_column="missing")
+        with pytest.raises(ValueError):
+            read_csv_stream(path, item_column="a", time_column="missing")

@@ -1,0 +1,89 @@
+"""Tests for multi-source stream merging and wall-clock mapping."""
+
+import numpy as np
+import pytest
+
+from repro.core.persistent_countmin import PersistentCountMin
+from repro.streams.merge import (
+    TickMapping,
+    merge_sources,
+    split_window_by_wall_time,
+)
+
+
+class TestMerge:
+    def test_merge_orders_by_wall_time(self):
+        source_a = (np.array([10, 30, 50]), np.array([1, 1, 1]))
+        source_b = (np.array([20, 40]), np.array([2, 2]))
+        stream, mapping = merge_sources([source_a, source_b])
+        assert list(stream.items) == [1, 2, 1, 2, 1]
+        assert list(stream.times) == [1, 2, 3, 4, 5]
+        assert list(mapping.wall_times) == [10, 20, 30, 40, 50]
+
+    def test_stable_on_ties(self):
+        source_a = (np.array([10, 10]), np.array([1, 2]))
+        source_b = (np.array([10]), np.array([3]))
+        stream, _ = merge_sources([source_a, source_b])
+        assert list(stream.items) == [1, 2, 3]
+
+    def test_empty(self):
+        stream, mapping = merge_sources([])
+        assert len(stream) == 0
+        assert mapping.tick_for(100) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            merge_sources([(np.array([2, 1]), np.array([1, 1]))])
+        with pytest.raises(ValueError):
+            merge_sources([(np.array([1]), np.array([1, 2]))])
+
+
+class TestTickMapping:
+    def test_tick_for(self):
+        mapping = TickMapping(np.array([10, 20, 20, 30]))
+        assert mapping.tick_for(5) == 0
+        assert mapping.tick_for(10) == 1
+        assert mapping.tick_for(20) == 3  # both tied events included
+        assert mapping.tick_for(99) == 4
+
+    def test_wall_for(self):
+        mapping = TickMapping(np.array([10, 20]))
+        assert mapping.wall_for(2) == 20
+        with pytest.raises(ValueError):
+            mapping.wall_for(0)
+        with pytest.raises(ValueError):
+            mapping.wall_for(3)
+
+    def test_window_translation(self):
+        mapping = TickMapping(np.array([10, 20, 30, 40]))
+        assert mapping.window(10, 30) == (1, 3)
+
+    def test_split_boundaries(self):
+        mapping = TickMapping(np.array([5, 15, 25, 35, 45]))
+        windows = split_window_by_wall_time(mapping, [0, 20, 40, 60])
+        assert windows == [(0, 2), (2, 4), (4, 5)]
+        with pytest.raises(ValueError):
+            split_window_by_wall_time(mapping, [10])
+        with pytest.raises(ValueError):
+            split_window_by_wall_time(mapping, [20, 10])
+
+
+class TestEndToEnd:
+    def test_wall_clock_queries_through_sketch(self):
+        """Merge two collectors, sketch the ticks, query by wall clock."""
+        rng = np.random.default_rng(9)
+        wall_a = np.sort(rng.integers(0, 3600, size=500))
+        wall_b = np.sort(rng.integers(0, 3600, size=500))
+        items_a = np.full(500, 7)
+        items_b = rng.integers(100, 200, size=500)
+        stream, mapping = merge_sources(
+            [(wall_a, items_a), (wall_b, items_b)]
+        )
+        sketch = PersistentCountMin(width=512, depth=4, delta=4)
+        sketch.ingest(stream)
+        # "How many 7s between 09:10 and 09:30?" in wall-clock terms:
+        s_tick, t_tick = mapping.window(600, 1800)
+        actual = int(((wall_a > 600) & (wall_a <= 1800)).sum())
+        assert sketch.point(7, s_tick, t_tick) == pytest.approx(
+            actual, abs=12
+        )

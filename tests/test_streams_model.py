@@ -1,0 +1,63 @@
+"""Tests for the stream model."""
+
+import numpy as np
+import pytest
+
+from repro.streams.model import Stream, Update
+
+
+class TestStream:
+    def test_default_times_are_consecutive(self):
+        stream = Stream(items=[5, 6, 7])
+        assert list(stream.times) == [1, 2, 3]
+        assert stream.end_time == 3
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValueError):
+            Stream(items=[1, 2], times=[5, 5])
+        with pytest.raises(ValueError):
+            Stream(items=[1, 2], times=[5, 4])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Stream(items=[1, 2], times=[1])
+        with pytest.raises(ValueError):
+            Stream(items=[1, 2], counts=[1])
+
+    def test_iteration_yields_updates(self, tiny_stream):
+        updates = list(tiny_stream)
+        assert updates[0] == Update(time=1, item=1, count=1)
+        assert len(updates) == 10
+
+    def test_cash_register_detection(self):
+        assert Stream(items=[1, 2]).is_cash_register
+        turnstile = Stream(items=[1, 1], counts=[1, -1])
+        assert not turnstile.is_cash_register
+
+    def test_prefix(self, tiny_stream):
+        prefix = tiny_stream.prefix(4)
+        assert len(prefix) == 4
+        assert list(prefix.items) == [1, 2, 1, 3]
+        assert prefix.universe == tiny_stream.universe
+
+    def test_from_updates_roundtrip(self, tiny_stream):
+        rebuilt = Stream.from_updates(iter(tiny_stream), universe=8)
+        assert np.array_equal(rebuilt.items, tiny_stream.items)
+        assert np.array_equal(rebuilt.times, tiny_stream.times)
+
+    def test_empty_stream(self):
+        stream = Stream(items=[])
+        assert len(stream) == 0
+        assert stream.end_time == 0
+        assert list(stream) == []
+
+
+class TestUpdate:
+    def test_defaults(self):
+        update = Update(time=3, item=9)
+        assert update.count == 1
+
+    def test_frozen(self):
+        update = Update(time=1, item=2)
+        with pytest.raises(AttributeError):
+            update.item = 5  # type: ignore[misc]

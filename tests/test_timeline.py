@@ -1,0 +1,73 @@
+"""Tests for the fractional-cascading timeline index."""
+
+from bisect import bisect_right
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.persistence.timeline import TimelineIndex
+
+
+def brute_force(lists, t):
+    return [bisect_right(lst, t) - 1 for lst in lists]
+
+
+class TestBasics:
+    def test_single_list(self):
+        index = TimelineIndex([[1, 5, 9]])
+        assert index.predecessors(0) == [-1]
+        assert index.predecessors(1) == [0]
+        assert index.predecessors(7) == [1]
+        assert index.predecessors(100) == [2]
+
+    def test_multiple_lists(self):
+        lists = [[1, 10, 20], [5, 15], [2, 4, 6, 8]]
+        index = TimelineIndex(lists)
+        for t in range(0, 25):
+            assert index.predecessors(t) == brute_force(lists, t)
+
+    def test_empty_lists_allowed(self):
+        index = TimelineIndex([[], [3], []])
+        assert index.predecessors(5) == [-1, 0, -1]
+
+    def test_no_lists(self):
+        index = TimelineIndex([])
+        assert index.predecessors(10) == []
+        assert index.words() == 0
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            TimelineIndex([[1, 1, 2]])
+        with pytest.raises(ValueError):
+            TimelineIndex([[3, 2]])
+
+    def test_words_overhead_bounded(self):
+        lists = [list(range(0, 100, 3)), list(range(1, 100, 5))]
+        index = TimelineIndex(lists)
+        total = sum(len(lst) for lst in lists)
+        # Augmented size <= 2x original per classic cascading analysis.
+        assert index.words() <= 3 * 2 * total + 6
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=500), max_size=40
+        ).map(lambda xs: sorted(set(xs))),
+        min_size=1,
+        max_size=8,
+    ),
+    st.integers(min_value=-5, max_value=505),
+)
+def test_matches_brute_force(lists, t):
+    index = TimelineIndex(lists)
+    assert index.predecessors(t) == brute_force(lists, t)
+
+
+def test_many_lists_deep_cascade():
+    lists = [list(range(i, 1000, 7 + i)) for i in range(20)]
+    index = TimelineIndex(lists)
+    for t in (0, 13, 250, 999, 5000):
+        assert index.predecessors(t) == brute_force(lists, t)

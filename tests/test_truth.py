@@ -1,0 +1,100 @@
+"""Tests for the exact ground-truth structure."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.model import Stream
+from repro.streams.truth import GroundTruth
+
+
+def brute_frequency(stream, item, s, t):
+    return sum(
+        int(c)
+        for time, i, c in zip(stream.times, stream.items, stream.counts)
+        if i == item and s < time <= t
+    )
+
+
+class TestWindows:
+    def test_frequency_full_stream(self, tiny_stream):
+        truth = GroundTruth(tiny_stream)
+        assert truth.frequency(1) == 4
+        assert truth.frequency(2) == 3
+        assert truth.frequency(3) == 2
+        assert truth.frequency(4) == 1
+        assert truth.frequency(99) == 0
+
+    def test_frequency_windows(self, tiny_stream):
+        # items: 1,2,1,3,1,2,4,1,2,3 at times 1..10
+        truth = GroundTruth(tiny_stream)
+        assert truth.frequency(1, s=0, t=5) == 3
+        assert truth.frequency(1, s=5, t=10) == 1
+        assert truth.frequency(2, s=2, t=9) == 2  # window excludes s
+        assert truth.frequency(3, s=4, t=10) == 1
+
+    def test_window_l1(self, tiny_stream):
+        truth = GroundTruth(tiny_stream)
+        assert truth.window_l1() == 10
+        assert truth.window_l1(s=3, t=7) == 4
+
+    def test_self_join(self, tiny_stream):
+        truth = GroundTruth(tiny_stream)
+        assert truth.self_join_size() == 16 + 9 + 4 + 1
+        assert truth.self_join_size(s=0, t=2) == 1 + 1
+
+    def test_join_size(self):
+        a = GroundTruth(Stream(items=[1, 1, 2]))
+        b = GroundTruth(Stream(items=[1, 3, 2, 2]))
+        assert a.join_size(b) == 2 * 1 + 1 * 2
+        assert b.join_size(a) == a.join_size(b)
+
+    def test_heavy_hitters(self, tiny_stream):
+        truth = GroundTruth(tiny_stream)
+        heavy = truth.heavy_hitters(phi=0.3)
+        assert set(heavy) == {1, 2}
+
+    def test_top_k(self, tiny_stream):
+        truth = GroundTruth(tiny_stream)
+        assert truth.top_k(2) == [(1, 4), (2, 3)]
+        # Windowed top-k drops items absent from the window.
+        assert truth.top_k(10, s=6, t=7)[0] == (4, 1)
+
+    def test_empty_stream(self):
+        truth = GroundTruth(Stream(items=[]))
+        assert truth.frequency(1) == 0
+        assert truth.window_l1() == 0
+        assert truth.top_k(5) == []
+
+
+class TestTurnstile:
+    def test_deletions(self):
+        stream = Stream(items=[1, 1, 1, 1], counts=[1, 1, -1, 1])
+        truth = GroundTruth(stream)
+        assert truth.frequency(1) == 2
+        assert truth.frequency(1, s=0, t=3) == 1
+        assert truth.window_l1() == 2
+        assert truth.self_join_size() == 4
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=60),
+    st.integers(min_value=0, max_value=60),
+    st.integers(min_value=0, max_value=60),
+)
+def test_matches_brute_force(items, s, t):
+    if s > t:
+        s, t = t, s
+    stream = Stream(items=items)
+    truth = GroundTruth(stream)
+    for item in range(9):
+        assert truth.frequency(item, s, t) == brute_frequency(stream, item, s, t)
+    window = [
+        i for time, i in zip(stream.times, stream.items) if s < time <= t
+    ]
+    counts = Counter(int(i) for i in window)
+    assert truth.window_l1(s, t) == len(window)
+    assert truth.self_join_size(s, t) == sum(c * c for c in counts.values())

@@ -1,0 +1,104 @@
+"""Tests for historical window Haar wavelet synopses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.wavelets import HaarCoefficient, PersistentWavelets
+from repro.streams.model import Stream
+
+
+def exact_haar_coefficients(freqs: np.ndarray) -> dict[tuple[int, int], float]:
+    """All Haar coefficients of a (power-of-two) frequency vector."""
+    n = len(freqs)
+    log_n = n.bit_length() - 1
+    out = {}
+    for level in range(1, log_n + 1):
+        width = 1 << level
+        for position in range(n // width):
+            lo = position * width
+            left = freqs[lo : lo + width // 2].sum()
+            right = freqs[lo + width // 2 : lo + width].sum()
+            out[(level, position)] = (left - right) / math.sqrt(width)
+    return out
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(151)
+    n = 256
+    items = rng.integers(0, n, size=4000)
+    items[::3] = 40  # spike -> large coefficients around value 40
+    items[1::7] = 200
+    stream = Stream(items=items, universe=n)
+    freqs = np.bincount(items, minlength=n).astype(float)
+    wavelets = PersistentWavelets(universe=n, width=256, depth=4, delta=6)
+    wavelets.ingest(stream)
+    return freqs, wavelets
+
+
+class TestCoefficients:
+    def test_individual_coefficients_match_exact(self, setup):
+        freqs, wavelets = setup
+        exact = exact_haar_coefficients(freqs)
+        for (level, position) in [(1, 20), (2, 10), (4, 2), (8, 0)]:
+            estimate = wavelets.coefficient(level, position)
+            # Error: 2 range sums, each O(log n) point queries of +-delta.
+            slack = 2 * 16 * 6 / math.sqrt(1 << level) + 2
+            assert estimate == pytest.approx(
+                exact[(level, position)], abs=slack
+            )
+
+    def test_scaling_coefficient(self, setup):
+        freqs, wavelets = setup
+        expected = freqs.sum() / math.sqrt(len(freqs))
+        assert wavelets.scaling_coefficient() == pytest.approx(
+            expected, rel=0.05
+        )
+
+    def test_validation(self, setup):
+        _, wavelets = setup
+        with pytest.raises(ValueError):
+            wavelets.coefficient(0, 0)
+        with pytest.raises(ValueError):
+            wavelets.coefficient(1, 10_000)
+        with pytest.raises(ValueError):
+            wavelets.top_coefficients(0)
+
+
+class TestTopB:
+    def test_finds_dominant_coefficients(self, setup):
+        freqs, wavelets = setup
+        exact = exact_haar_coefficients(freqs)
+        true_top = sorted(exact, key=lambda k: abs(exact[k]), reverse=True)[:5]
+        found = wavelets.top_coefficients(8)
+        found_keys = {(c.level, c.position) for c in found}
+        hits = sum(1 for key in true_top if key in found_keys)
+        assert hits >= 4
+
+    def test_magnitudes_descending(self, setup):
+        _, wavelets = setup
+        found = wavelets.top_coefficients(6)
+        magnitudes = [abs(c.value) for c in found]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_window_sensitivity(self, setup):
+        """Coefficients of disjoint windows differ: the early spike at
+        item 40 dominates only windows that contain it."""
+        _, wavelets = setup
+        early = wavelets.top_coefficients(3, s=0, t=2000)
+        supports = [c.support for c in early]
+        assert any(lo <= 40 <= hi for lo, hi in supports)
+
+
+class TestReconstruction:
+    def test_hot_item_frequency_recovered(self, setup):
+        freqs, wavelets = setup
+        approx = wavelets.reconstruct([40, 200], b=24)
+        assert approx[40] == pytest.approx(freqs[40], rel=0.25)
+        assert approx[200] == pytest.approx(freqs[200], rel=0.35)
+
+    def test_support_property(self):
+        coefficient = HaarCoefficient(level=3, position=2, value=1.0)
+        assert coefficient.support == (16, 23)

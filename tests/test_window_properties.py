@@ -1,0 +1,97 @@
+"""Property-based window-query guarantees.
+
+Hypothesis generates arbitrary small streams and windows; the sketches'
+answers must respect the theorems' error bounds on *every* one of them —
+not just on the benchmark workloads.
+"""
+
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.persistent_countmin import PersistentCountMin, PWCCountMin
+from repro.store.sharded import ShardedPersistentSketch
+
+streams = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=1, max_size=150
+)
+windows = st.tuples(
+    st.integers(min_value=0, max_value=150),
+    st.integers(min_value=0, max_value=150),
+)
+
+
+def window_frequency(items, item, s, t):
+    return sum(
+        1 for tick, value in enumerate(items, start=1)
+        if value == item and s < tick <= t
+    )
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(items=streams, window=windows, delta=st.integers(1, 10))
+def test_theorem_31_bound_on_arbitrary_streams(items, window, delta):
+    """With a collision-free width, the only error source is the PLA:
+    |estimate - truth| <= 2*delta + step slack, for every window."""
+    s, t = sorted(window)
+    sketch = PersistentCountMin(width=4096, depth=3, delta=delta, seed=5)
+    for tick, item in enumerate(items, start=1):
+        sketch.update(item, time=tick)
+    for item in set(items):
+        truth = window_frequency(items, item, s, t)
+        estimate = sketch.point(item, s, t)
+        assert abs(estimate - truth) <= 2 * delta + 2
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(items=streams, window=windows, delta=st.integers(1, 10))
+def test_pwc_bound_on_arbitrary_streams(items, window, delta):
+    s, t = sorted(window)
+    sketch = PWCCountMin(width=4096, depth=3, delta=delta, seed=5)
+    for tick, item in enumerate(items, start=1):
+        sketch.update(item, time=tick)
+    for item in set(items):
+        truth = window_frequency(items, item, s, t)
+        assert abs(sketch.point(item, s, t) - truth) <= 2 * delta
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(items=streams, delta=st.integers(1, 8),
+       shard_length=st.integers(5, 60))
+def test_sharded_consistent_with_unsharded(items, delta, shard_length):
+    """Sharding changes error constants (one per overlapped shard) but
+    answers must stay within the summed per-shard budgets of truth."""
+    sharded = ShardedPersistentSketch(
+        shard_length=shard_length, width=4096, depth=3, delta=delta, seed=5
+    )
+    for tick, item in enumerate(items, start=1):
+        sharded.update(item, time=tick)
+    m = len(items)
+    s, t = m // 4, max(m // 4, 3 * m // 4)
+    shards_touched = (t - s) // shard_length + 2
+    for item in set(items):
+        truth = window_frequency(items, item, s, t)
+        estimate = sharded.point(item, s, t)
+        assert abs(estimate - truth) <= shards_touched * (2 * delta + 2)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(items=streams)
+def test_window_additivity(items):
+    """Estimates are additive over adjacent windows (linearity of the
+    counter reconstruction): f(s,u] ~ f(s,t] + f(t,u]."""
+    sketch = PersistentCountMin(width=4096, depth=3, delta=3, seed=7)
+    for tick, item in enumerate(items, start=1):
+        sketch.update(item, time=tick)
+    m = len(items)
+    s, t, u = 0, m // 2, m
+    hot = Counter(items).most_common(1)[0][0]
+    whole = sketch.point(hot, s, u)
+    parts = sketch.point(hot, s, t) + sketch.point(hot, t, u)
+    # Identical per-row reconstructions telescope exactly.
+    assert abs(whole - parts) <= 1e-6
