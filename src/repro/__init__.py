@@ -17,6 +17,8 @@ See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 paper's evaluation, table by table and figure by figure.
 """
 
+from __future__ import annotations
+
 from repro.core import (
     HistoricalAMS,
     HistoricalCountMin,

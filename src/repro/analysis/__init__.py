@@ -1,0 +1,39 @@
+"""Machine-checked invariants for the persistent-sketch reproduction.
+
+Two halves:
+
+* :mod:`repro.analysis.sketchlint` — a repo-specific AST linter whose
+  rules (SL001..SL008) encode invariants the paper's analysis relies on
+  but ordinary Python tooling cannot see (seeded RNG discipline for the
+  Equation (1) unbiasedness, monotone-timestamp guards on ingest paths,
+  no float equality in sketch math, ...).  Run it with
+  ``python -m repro.analysis src`` or ``repro lint``.
+* :mod:`repro.analysis.contracts` — a runtime contract layer (decorators
+  and validators) the sketch classes opt into.  Contracts are identity
+  no-ops unless ``REPRO_CONTRACTS=1``; the test suite always enforces
+  them (see ``tests/conftest.py``).
+
+See ``docs/static-analysis.md`` for the rule catalogue and rationale.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sketchlint import (
+    Finding,
+    Rule,
+    RULES,
+    lint_paths,
+    lint_source,
+    main,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "run_lint",
+]

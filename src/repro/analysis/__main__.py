@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — run sketchlint from the command line."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.sketchlint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Runtime contract layer for the sketch invariants.
+
+The paper's correctness argument leans on invariants the code can only
+enforce dynamically: strictly increasing timestamps into every
+persistence structure, monotone counter components behind the sampled
+history lists, and Δ-bounded PLA segment error.  This module provides
+lightweight decorators and validators the sketch classes opt into.
+
+Contracts are **off by default** and cost nothing when off:
+
+* decorators applied while disabled return the function object
+  unchanged (identity), so decorated hot paths are byte-for-byte the
+  undecorated ones;
+* validators check :data:`ENABLED` first and return immediately.
+
+Enable them with ``REPRO_CONTRACTS=1`` in the environment (read at
+import time) or programmatically via :func:`set_enabled` /
+:func:`enforced`.  The test suite force-enables them in
+``tests/conftest.py`` so every test runs fully checked.
+
+Violations raise :class:`ContractViolation`, a :class:`ValueError`
+subclass, so existing ``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence, TypeVar
+from weakref import WeakKeyDictionary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pla.segment import Segment
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Whether contracts are live.  Mutated only via :func:`set_enabled`.
+ENABLED: bool = os.environ.get("REPRO_CONTRACTS", "").strip().lower() not in (
+    "",
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
+
+class ContractViolation(ValueError):
+    """A dynamic invariant of the persistent-sketch analysis was broken."""
+
+
+def enabled() -> bool:
+    """Whether contracts are currently enforced."""
+    return ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Turn enforcement on/off.
+
+    Decorators consult the flag both when applied (identity if off) and
+    per call, so flipping it affects already-decorated functions too —
+    but functions decorated *while off* stay unwrapped permanently;
+    import order matters for library classes.
+    """
+    global ENABLED
+    ENABLED = bool(flag)
+
+
+@contextmanager
+def enforced(flag: bool = True) -> Iterator[None]:
+    """Context manager scoping :func:`set_enabled` (used by tests)."""
+    previous = ENABLED
+    set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+#: Key for tracking plain (non-method) decorated functions.
+_GLOBAL_KEY = object()
+
+
+def monotone_timestamps(param: str = "t") -> Callable[[F], F]:
+    """Enforce strictly increasing ``param`` across calls.
+
+    Tracking is per instance for methods (first parameter named
+    ``self``/``cls``) and per function otherwise.  A call that raises —
+    from the contract or the wrapped function — does not advance the
+    tracked timestamp.  ``None`` timestamps (auto-assignment sentinels)
+    are skipped.
+
+    Instances of ``__slots__`` classes must list ``__weakref__`` so the
+    tracker can hold them weakly; unweakrefable instances fall back to
+    an ``id()``-keyed table (fine for the test suite, documented as a
+    leak for long-running enforcement).
+    """
+
+    def decorate(fn: F) -> F:
+        if not ENABLED:
+            return fn
+        names = list(inspect.signature(fn).parameters)
+        try:
+            pos = names.index(param)
+        except ValueError:
+            raise TypeError(
+                f"@monotone_timestamps: {fn.__qualname__} has no "
+                f"parameter {param!r}"
+            ) from None
+        is_method = bool(names) and names[0] in ("self", "cls")
+        weak_last: WeakKeyDictionary[Any, Any] = WeakKeyDictionary()
+        strong_last: dict[int, Any] = {}
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not ENABLED:
+                return fn(*args, **kwargs)
+            if param in kwargs:
+                t = kwargs[param]
+            elif pos < len(args):
+                t = args[pos]
+            else:
+                t = None
+            if t is None:
+                return fn(*args, **kwargs)
+            key = args[0] if is_method and args else _GLOBAL_KEY
+            try:
+                previous = weak_last.get(key)
+                weak = True
+            except TypeError:
+                previous = strong_last.get(id(key))
+                weak = False
+            if previous is not None and t <= previous:
+                raise ContractViolation(
+                    f"{fn.__qualname__}: timestamps must be strictly "
+                    f"increasing, got {t!r} after {previous!r}"
+                )
+            result = fn(*args, **kwargs)
+            if weak:
+                weak_last[key] = t
+            else:
+                strong_last[id(key)] = t
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def check_sorted_timeline(
+    lists: Sequence[Sequence[int]] | Sequence[list[int]],
+    what: str = "timeline",
+) -> None:
+    """Every list must be strictly increasing (predecessor-searchable)."""
+    if not ENABLED:
+        return
+    for which, lst in enumerate(lists):
+        for i in range(len(lst) - 1):
+            if lst[i] >= lst[i + 1]:
+                raise ContractViolation(
+                    f"{what}: list {which} is not strictly increasing at "
+                    f"index {i} ({lst[i]} >= {lst[i + 1]})"
+                )
+
+
+def check_segment_error(
+    segment: "Segment",
+    times: Sequence[float],
+    values: Sequence[float],
+    delta: float,
+    slack: float = 1e-6,
+) -> None:
+    """Every fed point of a run must sit within ``delta`` of the segment.
+
+    This is Section 3's defining PLA guarantee; ``slack`` absorbs float
+    rounding in the supporting-line bisector.
+    """
+    if not ENABLED:
+        return
+    bound = float(delta) + slack
+    for t, v in zip(times, values):
+        approx = segment.evaluate_clamped(t)
+        if abs(approx - v) > bound:
+            raise ContractViolation(
+                f"PLA segment [{segment.t_start}, {segment.t_end}] deviates "
+                f"by {abs(approx - v):.6g} > delta={delta:.6g} from the fed "
+                f"point (t={t}, v={v})"
+            )
+
+
+def check_history_list(history: Any, what: str = "history list") -> None:
+    """Structural invariants of a sampled history list (Section 4.1).
+
+    Timestamps strictly increase, sampled values never decrease (the
+    component is monotone by construction), value/time lengths match,
+    and no sampled value undercuts the component's starting value.
+    """
+    if not ENABLED:
+        return
+    times = history.sample_times()
+    values = history._values
+    if len(times) != len(values):
+        raise ContractViolation(
+            f"{what}: {len(times)} timestamps vs {len(values)} values"
+        )
+    check_sorted_timeline([times], what=what)
+    previous = history.initial_value
+    for t, value in zip(times, values):
+        if value < previous:
+            raise ContractViolation(
+                f"{what}: sampled value decreased at t={t} "
+                f"({value} < {previous}); component must be monotone"
+            )
+        previous = value

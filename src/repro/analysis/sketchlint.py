@@ -1,0 +1,312 @@
+"""sketchlint — the repo's invariant-aware static analyzer.
+
+A thin AST-based engine (stdlib :mod:`ast` only, no third-party deps)
+plus a table of repo-specific rules (:mod:`repro.analysis.rules`).  Each
+rule is a small :class:`ast.NodeVisitor` subclass registered in
+:data:`RULES`; a rule encodes an invariant the paper's correctness
+argument relies on — seeded RNG discipline, monotone timestamps into the
+PLA, no float equality in sketch math — rather than generic style.
+
+Suppression is per line::
+
+    value = random.random()  # sketchlint: disable=SL001
+    other = bad() or worse()  # sketchlint: disable=SL001,SL002
+    anything = goes()  # sketchlint: disable=all
+
+Exit codes: 0 clean, 1 findings, 2 operational errors (unreadable or
+unparsable file, unknown rule selector).  ``--warn-only`` reports
+findings but still exits 0, which is how the ``benchmarks/`` and
+``examples/`` trees are tracked while they are ratcheted down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import IO, Iterable, Sequence
+
+#: Per-line suppression marker.  The comma-separated list may name rule
+#: codes (``SL001``) or ``all``.
+_SUPPRESS_RE = re.compile(r"#\s*sketchlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: CODE message`` (text output)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form used by ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for sketchlint rules.
+
+    Subclasses set :attr:`code` (``SLxxx``), :attr:`summary` (one line,
+    shown by ``--list-rules``) and :attr:`rationale` (why the repo cares;
+    surfaced in docs), override visitor methods, and are registered with
+    :func:`register`.  Override :meth:`applies_to` to scope a rule to a
+    subtree (paths are compared in POSIX form) and :meth:`check_module`
+    for whole-module checks that do not fit the visitor pattern.
+    """
+
+    code: str = "SL000"
+    summary: str = ""
+    rationale: str = ""
+
+    def __init__(self, path: str, findings: list[Finding]) -> None:
+        self.path = path
+        self.findings = findings
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        """Whether the rule runs on ``path`` (POSIX-normalized)."""
+        return True
+
+    def check_module(self, tree: ast.Module, source: str) -> None:
+        """Run the rule over one parsed module (default: visit the AST)."""
+        self.visit(tree)
+
+    def report(self, node: ast.AST, message: str | None = None) -> None:
+        """Record a finding at ``node`` (defaults to the rule summary)."""
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                code=self.code,
+                message=message if message is not None else self.summary,
+            )
+        )
+
+
+#: Rule table: code -> rule class.  Populated by :func:`register`.
+RULES: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to :data:`RULES`."""
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> set of suppressed rule codes (upper-cased)."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            out[lineno] = {
+                part.strip().upper()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+    return out
+
+
+def _resolve_select(select: Iterable[str] | None) -> set[str] | None:
+    if select is None:
+        return None
+    codes = {code.strip().upper() for code in select if code.strip()}
+    unknown = codes - set(RULES)
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return codes
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one module given as source text.
+
+    ``path`` participates in rule scoping (e.g. SL005 only applies under
+    ``src/``), so tests pass representative fake paths.  Raises
+    :class:`SyntaxError` when the module does not parse.
+    """
+    codes = _resolve_select(select)
+    norm = PurePosixPath(path).as_posix()
+    tree = ast.parse(source, filename=path)
+    findings: list[Finding] = []
+    for code, cls in sorted(RULES.items()):
+        if codes is not None and code not in codes:
+            continue
+        if not cls.applies_to(norm):
+            continue
+        cls(norm, findings).check_module(tree, source)
+    suppressed = _suppressions(source)
+    kept = [
+        finding
+        for finding in findings
+        if not (
+            finding.line in suppressed
+            and (
+                finding.code in suppressed[finding.line]
+                or "ALL" in suppressed[finding.line]
+            )
+        )
+    ]
+    return sorted(kept, key=lambda f: (f.line, f.col, f.code))
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """Lint files and directories.
+
+    Returns ``(findings, errors)`` where ``errors`` are operational
+    problems (missing file, syntax error) that map to exit code 2.
+    """
+    findings: list[Finding] = []
+    errors: list[str] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            errors.append(f"{path}: unreadable: {exc}")
+            continue
+        try:
+            findings.extend(lint_source(source, str(path), select=select))
+        except SyntaxError as exc:
+            errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+    return findings, errors
+
+
+def _render(findings: list[Finding], fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps(
+            {
+                "count": len(findings),
+                "findings": [finding.to_dict() for finding in findings],
+            },
+            indent=2,
+        )
+    return "\n".join(finding.format() for finding in findings)
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    fmt: str = "text",
+    select: Iterable[str] | None = None,
+    warn_only: bool = False,
+    list_rules: bool = False,
+    out: IO[str] | None = None,
+    err: IO[str] | None = None,
+) -> int:
+    """Shared driver behind ``python -m repro.analysis`` and ``repro lint``."""
+    # Resolve the streams per call, not at definition time, so callers
+    # that redirect sys.stdout (pytest's capsys) see the output.
+    out = sys.stdout if out is None else out
+    err = sys.stderr if err is None else err
+    if list_rules:
+        for code, cls in sorted(RULES.items()):
+            print(f"{code}  {cls.summary}", file=out)
+        return 0
+    try:
+        findings, errors = lint_paths(paths, select=select)
+    except KeyError as exc:
+        print(f"sketchlint: {exc.args[0]}", file=err)
+        return 2
+    rendered = _render(findings, fmt)
+    if rendered:
+        print(rendered, file=out)
+    for error in errors:
+        print(f"sketchlint: {error}", file=err)
+    if not findings and not errors and fmt == "text":
+        print("sketchlint: clean", file=out)
+    if errors:
+        return 2
+    if findings and not warn_only:
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``python -m repro.analysis`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="sketchlint: invariant-aware static analysis for repro.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report findings but exit 0 (baseline/ratchet mode)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point for sketchlint; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    select = args.select.split(",") if args.select else None
+    try:
+        return run_lint(
+            args.paths,
+            fmt=args.fmt,
+            select=select,
+            warn_only=args.warn_only,
+            list_rules=args.list_rules,
+        )
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not a lint error.
+        sys.stderr.close()
+        return 0
+
+
+# Importing the rule set populates RULES; the import sits at the bottom
+# so rules can subclass Rule from this partially-initialized module.
+from repro.analysis import rules as _rules  # noqa: E402,F401

@@ -9,6 +9,8 @@ comparison) can be demonstrated rather than asserted — see
 ``tests/test_baselines.py``.
 """
 
+from __future__ import annotations
+
 from repro.baselines.exponential_histogram import ExponentialHistogram
 
 __all__ = ["ExponentialHistogram"]

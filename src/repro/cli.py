@@ -16,7 +16,13 @@ Three groups of functionality::
     # Query an archive about any past window.
     python -m repro.cli query urls.sketch.gz point --item 123 --s 0 --t 50000
 
+    # Static analysis: the sketch-invariant linter (see
+    # docs/static-analysis.md); `python -m repro.analysis` is equivalent.
+    python -m repro.cli lint src --format json
+
 ``REPRO_BENCH_SCALE`` (float) scales experiment workload sizes.
+``REPRO_CONTRACTS=1`` enables the runtime contract layer
+(:mod:`repro.analysis.contracts`).
 """
 
 from __future__ import annotations
@@ -104,6 +110,24 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.sketchlint import run_lint
+
+    select = args.select.split(",") if args.select else None
+    try:
+        return run_lint(
+            args.paths,
+            fmt=args.format,
+            select=select,
+            warn_only=args.warn_only,
+            list_rules=args.list_rules,
+        )
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not a lint error.
+        sys.stderr.close()
+        return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.io import load
 
@@ -172,6 +196,19 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--delta", type=float, default=50)
     build.add_argument("--seed", type=int, default=0)
 
+    lint = sub.add_parser(
+        "lint", help="run sketchlint, the sketch-invariant static analyzer"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files/dirs (default: src)"
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--select", default=None, help="comma-separated rule codes"
+    )
+    lint.add_argument("--warn-only", action="store_true")
+    lint.add_argument("--list-rules", action="store_true")
+
     query = sub.add_parser("query", help="query a sketch archive")
     query.add_argument("archive")
     query.add_argument("kind", choices=QUERY_KINDS)
@@ -195,6 +232,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_synth(args)
     if args.command == "build":
         return _cmd_build(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "query":
         return _cmd_query(args)
     raise SystemExit(2)  # pragma: no cover - argparse enforces choices

@@ -10,6 +10,8 @@
   across two streams.
 """
 
+from __future__ import annotations
+
 from repro.core.base import PersistentSketch
 from repro.core.heavy_hitters import PersistentHeavyHitters
 from repro.core.historical_ams import HistoricalAMS

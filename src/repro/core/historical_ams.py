@@ -105,6 +105,9 @@ class HistoricalAMS(PersistentSketch):
         config = HashConfig(width=width, depth=depth, seed=seed)
         self.buckets = BucketHashFamily(config)
         self.signs = SignHashFamily(config)
+        # Seed audit: affine-derived from the hash seed (prime 7919);
+        # the +13 offset keeps the sampler stream disjoint from
+        # PersistentAMS (+11) and the aux L2 tracker (seed + 101).
         self._rng = Random(seed * 7919 + 13)
         self._aux = L2Tracker(
             expected_length=expected_length, seed=seed + 101
@@ -137,7 +140,8 @@ class HistoricalAMS(PersistentSketch):
         self.total += count
         self._maybe_advance_epoch(time)
         current = self._epochs.current
-        assert current is not None
+        if current is None:
+            raise RuntimeError("epoch manager has no open epoch after observe")
         cols = self.buckets.buckets(item)
         sgns = self.signs.signs(item)
         magnitude = abs(count)
@@ -172,7 +176,8 @@ class HistoricalAMS(PersistentSketch):
             delta = max(self.eps * epoch.start_norm, 1.0)
             self._probability = 1.0 / delta
         current = self._epochs.current
-        assert current is not None
+        if current is None:
+            raise RuntimeError("epoch manager has no open epoch after observe")
         # The L2 norm moves by at most 1 per update, so it cannot double
         # before another start_norm updates; re-check a few times earlier.
         self._updates_until_check = max(

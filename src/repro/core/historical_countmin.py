@@ -97,6 +97,8 @@ class HistoricalCountMin(PersistentSketch):
         )
         if self.hashes.width != width or self.hashes.depth != depth:
             raise ValueError("hash family shape does not match sketch shape")
+        # Seed audit: this sketch draws no randomness beyond the hash
+        # family (seeded via HashConfig); PLA recording is deterministic.
         self._epochs = EpochManager(factor=2.0)
         self._delta = eps  # Delta of the open epoch
         self._counters: list[list[int]] = [
@@ -113,7 +115,8 @@ class HistoricalCountMin(PersistentSketch):
         if epoch is not None:
             self._delta = max(self.eps * epoch.start_norm, self.eps)
         current = self._epochs.current
-        assert current is not None
+        if current is None:
+            raise RuntimeError("epoch manager has no open epoch after observe")
         cols = self.hashes.buckets(item)
         for row in range(self.depth):
             col = cols[row]

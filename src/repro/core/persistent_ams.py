@@ -23,6 +23,7 @@ from __future__ import annotations
 from random import Random
 from statistics import median
 
+from repro.analysis import contracts
 from repro.core.base import PersistentSketch
 from repro.hashing import BucketHashFamily, HashConfig, SignHashFamily
 from repro.persistence.history_list import SampledHistoryList
@@ -76,6 +77,11 @@ class PersistentAMS(PersistentSketch):
         config = HashConfig(width=width, depth=depth, seed=seed)
         self.buckets = BucketHashFamily(config)
         self.signs = SignHashFamily(config)
+        # Seed audit: the Bernoulli sampler is decoupled from the hash
+        # seed by an affine map (7919 is prime) so a join pair built via
+        # make_ams_pair shares hashes but never sampling randomness; the
+        # +11 offset keeps it disjoint from HistoricalAMS (+13) and the
+        # L2 tracker (+101) when all derive from one experiment seed.
         self._rng = Random(seed * 7919 + 11 if sampling_seed is None else sampling_seed)
         # Current component values: per row, per column, [negative, positive].
         self._components: list[list[list[int]]] = [
@@ -180,6 +186,11 @@ class PersistentAMS(PersistentSketch):
             for b in range(2):
                 for copy in range(self.copies):
                     lists = self._histories[row][b][copy]
+                    if contracts.ENABLED:
+                        for history in lists.values():
+                            contracts.check_history_list(
+                                history, what=f"history[{row}][{b}][{copy}]"
+                            )
                     cols = sorted(lists)
                     timeline[(row, b, copy)] = (
                         cols,
@@ -200,7 +211,10 @@ class PersistentAMS(PersistentSketch):
     ) -> dict[int, float]:
         """Window counter estimates for every touched column of a row,
         via the fractional-cascading index."""
-        assert self._timeline is not None
+        if self._timeline is None:
+            raise RuntimeError(
+                "fractional-cascading index queried before build_timeline()"
+            )
         out: dict[int, float] = {}
         for b, sign in ((1, 1.0), (0, -1.0)):
             cols, index = self._timeline[(row, b, copy)]

@@ -18,6 +18,7 @@ where ``W = ||f_{s,t}||_1``.
 from __future__ import annotations
 
 from repro.core.heavy_hitters import PersistentHeavyHitters
+from repro.streams.model import Stream
 
 
 class PersistentQuantiles:
@@ -63,11 +64,11 @@ class PersistentQuantiles:
         """The value universe ``[0, n)``."""
         return self._hierarchy.universe
 
-    def update(self, item: int, count: int = 1, time: int | None = None) -> None:
+    def update(self, item: int, count: int = 1, time: int | None = None) -> None:  # sketchlint: disable=SL008 — delegates to the hierarchy's guarded clock
         """Ingest one update (values are the items being ranked)."""
         self._hierarchy.update(item, count, time)
 
-    def ingest(self, stream) -> None:
+    def ingest(self, stream: Stream) -> None:
         """Ingest a whole stream."""
         self._hierarchy.ingest(stream)
 

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.heavy_hitters import PersistentHeavyHitters
+from repro.streams.model import Stream
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,11 +81,11 @@ class PersistentWavelets:
         """The (power-of-two padded) Haar domain size."""
         return self._n
 
-    def update(self, item: int, count: int = 1, time: int | None = None) -> None:
+    def update(self, item: int, count: int = 1, time: int | None = None) -> None:  # sketchlint: disable=SL008 — delegates to the hierarchy's guarded clock
         """Ingest one update."""
         self._hierarchy.update(item, count, time)
 
-    def ingest(self, stream) -> None:
+    def ingest(self, stream: Stream) -> None:
         """Ingest a whole stream."""
         self._hierarchy.ingest(stream)
 

@@ -14,6 +14,8 @@ deterministic schemes (asserted in ``tests/test_engine.py``).
     batch_ingest(sketch, stream)      # == sketch.ingest(stream), faster
 """
 
+from __future__ import annotations
+
 from repro.engine.batch import batch_hash_columns, batch_ingest
 
 __all__ = ["batch_ingest", "batch_hash_columns"]

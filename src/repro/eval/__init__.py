@@ -13,6 +13,8 @@ The submodules map one-to-one onto the pieces of Section 6:
   visible under pytest's output capture.
 """
 
+from __future__ import annotations
+
 from repro.eval.harness import (
     DATASETS,
     DatasetSpec,

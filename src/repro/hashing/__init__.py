@@ -14,6 +14,8 @@ construction [8].  Every family is deterministically seeded so experiments
 are reproducible.
 """
 
+from __future__ import annotations
+
 from repro.hashing.carter_wegman import MERSENNE_PRIME, PolynomialHash
 from repro.hashing.families import (
     BucketHashFamily,

@@ -11,6 +11,8 @@ ingested on one machine can be queried, or further updated, on another.
     sketch = load("urls.sketch.gz")
 """
 
+from __future__ import annotations
+
 from repro.io.serialize import from_dict, load, save, to_dict
 
 __all__ = ["save", "load", "to_dict", "from_dict"]

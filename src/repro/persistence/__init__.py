@@ -14,6 +14,8 @@
   the paper's query-time analysis).
 """
 
+from __future__ import annotations
+
 from repro.persistence.epochs import Epoch, EpochManager
 from repro.persistence.history_list import SampledHistoryList
 from repro.persistence.timeline import TimelineIndex

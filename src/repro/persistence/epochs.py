@@ -13,6 +13,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass
 
+from repro.analysis import contracts
+
 
 @dataclass(frozen=True, slots=True)
 class Epoch:
@@ -44,7 +46,7 @@ class EpochManager:
         ``[start_norm / factor, start_norm * factor]``.
     """
 
-    def __init__(self, factor: float = 2.0):
+    def __init__(self, factor: float = 2.0) -> None:
         if factor <= 1.0:
             raise ValueError(f"factor must exceed 1, got {factor}")
         self.factor = factor
@@ -61,11 +63,15 @@ class EpochManager:
         """The open epoch, or ``None`` before the first observation."""
         return self._epochs[-1] if self._epochs else None
 
+    @contracts.monotone_timestamps(param="t")
     def observe(self, t: int, norm: float) -> Epoch | None:
         """Report the tracked norm at time ``t``.
 
         Returns the newly started :class:`Epoch` when a boundary is
         crossed (including the very first epoch), else ``None``.
+        Observation times must not decrease; the
+        ``@monotone_timestamps`` contract enforces strict increase when
+        enforcement is on (callers observe at most once per update tick).
         """
         current = self.current
         if current is None:

@@ -20,6 +20,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from random import Random
 
+from repro.analysis import contracts
+
 #: Machine words per record (value + timestamp), per Section 6.2.
 WORDS_PER_RECORD = 2
 
@@ -38,11 +40,18 @@ class SampledHistoryList:
         boundaries in the Section 5.2 construction).
     """
 
-    __slots__ = ("probability", "initial_value", "_times", "_values", "_rng")
+    __slots__ = (
+        "__weakref__",  # contract decorators track instances weakly
+        "probability",
+        "initial_value",
+        "_times",
+        "_values",
+        "_rng",
+    )
 
     def __init__(
         self, probability: float, rng: Random, initial_value: int = 0
-    ):
+    ) -> None:
         if not 0 < probability <= 1:
             raise ValueError(
                 f"sampling probability must lie in (0, 1], got {probability}"
@@ -53,8 +62,15 @@ class SampledHistoryList:
         self._values: list[int] = []
         self._rng = rng
 
+    @contracts.monotone_timestamps(param="t")
     def offer(self, t: int, value: int) -> None:
-        """Offer the component's new value at time ``t`` for sampling."""
+        """Offer the component's new value at time ``t`` for sampling.
+
+        Unsampled offers leave no trace, so monotonicity of ``t`` cannot
+        be validated from the stored records alone; the
+        ``@monotone_timestamps`` contract enforces it across *all* offers
+        when enforcement is on.
+        """
         if self._rng.random() < self.probability:
             self._times.append(t)
             self._values.append(value)

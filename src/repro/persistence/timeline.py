@@ -20,13 +20,15 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Sequence
 
+from repro.analysis import contracts
+
 
 class _Level:
     """One augmented level of the cascade."""
 
     __slots__ = ("times", "own_pred", "bridge")
 
-    def __init__(self, times: list[int], own_pred: list[int], bridge: list[int]):
+    def __init__(self, times: list[int], own_pred: list[int], bridge: list[int]) -> None:
         self.times = times  # sorted augmented timestamps
         self.own_pred = own_pred  # predecessor index in the original list
         self.bridge = bridge  # predecessor position in the next level
@@ -48,11 +50,11 @@ class TimelineIndex:
     list, the index of the largest element ``<= t`` or ``-1``.
     """
 
-    def __init__(self, lists: Sequence[Sequence[int]]):
+    def __init__(self, lists: Sequence[Sequence[int]]) -> None:
         self._lists = [list(lst) for lst in lists]
-        for lst in self._lists:
-            if any(lst[i] >= lst[i + 1] for i in range(len(lst) - 1)):
-                raise ValueError("timestamp lists must be strictly increasing")
+        # O(total) validation is deferred to the contract layer: always
+        # on in the test suite (REPRO_CONTRACTS=1), free in production.
+        contracts.check_sorted_timeline(self._lists, what="TimelineIndex")
         self._levels = self._build(self._lists)
 
     @staticmethod

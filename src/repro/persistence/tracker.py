@@ -39,10 +39,10 @@ class PLATracker(CounterTracker):
 
     __slots__ = ("_pla",)
 
-    def __init__(self, delta: float, initial_value: float = 0.0):
+    def __init__(self, delta: float, initial_value: float = 0.0) -> None:
         self._pla = OnlinePLA(delta=delta, initial_value=initial_value)
 
-    def feed(self, t: int, value: float) -> None:
+    def feed(self, t: int, value: float) -> None:  # sketchlint: disable=SL008 — OnlinePLA.feed guards monotonicity
         self._pla.feed(t, value)
 
     def value_at(self, t: float) -> float:
@@ -64,10 +64,10 @@ class PWCTracker(CounterTracker):
 
     __slots__ = ("_pwc",)
 
-    def __init__(self, delta: float, initial_value: float = 0.0):
+    def __init__(self, delta: float, initial_value: float = 0.0) -> None:
         self._pwc = OnlinePWC(delta=delta, initial_value=initial_value)
 
-    def feed(self, t: int, value: float) -> None:
+    def feed(self, t: int, value: float) -> None:  # sketchlint: disable=SL008 — OnlinePWC.feed guards monotonicity
         self._pwc.feed(t, value)
 
     def value_at(self, t: float) -> float:

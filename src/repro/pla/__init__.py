@@ -15,6 +15,8 @@ Both emit compact, binary-searchable read-only functions
 :class:`~repro.pla.piecewise_constant.PiecewiseConstantFunction`).
 """
 
+from __future__ import annotations
+
 from repro.pla.orourke import OnlinePLA
 from repro.pla.piecewise import PiecewiseLinearFunction
 from repro.pla.piecewise_constant import OnlinePWC, PiecewiseConstantFunction

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.analysis import contracts
 from repro.pla.piecewise import PiecewiseLinearFunction
 from repro.pla.segment import Segment
 
@@ -59,9 +60,11 @@ class OnlinePLA:
     """
 
     __slots__ = (
+        "__weakref__",  # contract decorators track instances weakly
         "delta",
         "function",
         "_on_segment",
+        "_run_points",
         "_t0",
         "_last_x",
         "_count",
@@ -81,15 +84,23 @@ class OnlinePLA:
         delta: float,
         initial_value: float = 0.0,
         on_segment: Callable[[Segment], None] | None = None,
-    ):
+    ) -> None:
         if delta <= 0:
             raise ValueError(f"delta must be positive, got {delta}")
         self.delta = float(delta)
         self.function = PiecewiseLinearFunction(initial_value=initial_value)
         self._on_segment = on_segment or self.function.append
+        # Shadow copy of the current run's fed points, kept only while
+        # contracts are enforced so each emitted segment can be checked
+        # against the Delta bound; None keeps the hot path branch cheap.
+        self._run_points: list[tuple[int, float]] | None = (
+            [] if contracts.ENABLED else None
+        )
         self._reset_run()
 
     def _reset_run(self) -> None:
+        if self._run_points:
+            self._run_points.clear()
         self._t0 = 0  # global time of the run's first point
         self._last_x = 0.0  # last fed time, relative to _t0
         self._count = 0  # points in the current run
@@ -110,10 +121,13 @@ class OnlinePLA:
     # Feeding
     # ------------------------------------------------------------------ #
 
+    @contracts.monotone_timestamps(param="t")
     def feed(self, t: int, v: float) -> None:
         """Feed the counter value ``v`` observed at time ``t``.
 
-        Times must be strictly increasing across calls.
+        Times must be strictly increasing across calls.  In-run
+        violations always raise; the ``@monotone_timestamps`` contract
+        extends the check across run boundaries when enforcement is on.
         """
         if self._count == 0:
             self._begin_run(t, v)
@@ -127,6 +141,8 @@ class OnlinePLA:
         a = v - self.delta
         b = v + self.delta
         if self._count == 1:
+            if self._run_points is not None:
+                self._run_points.append((t, v))
             self._second_point(x, a, b)
             self._last_x = x
             return
@@ -151,6 +167,8 @@ class OnlinePLA:
             bx, by = self._hull_b[self._start_b]
             self._l_slope = (a - by) / (x - bx)
             self._l_icept = by - self._l_slope * bx
+        if self._run_points is not None:
+            self._run_points.append((t, v))
         self._append_hull_a(x, a)
         self._append_hull_b(x, b)
         self._last_x = x
@@ -216,6 +234,8 @@ class OnlinePLA:
     # ------------------------------------------------------------------ #
 
     def _begin_run(self, t: int, v: float) -> None:
+        if self._run_points is not None:
+            self._run_points.append((t, v))
         self._t0 = t
         self._last_x = 0.0
         self._count = 1
@@ -261,6 +281,13 @@ class OnlinePLA:
                 t_end=self._t0 + int(self._last_x),
                 slope=slope,
                 value_at_start=icept,
+            )
+        if self._run_points:
+            contracts.check_segment_error(
+                segment,
+                [point[0] for point in self._run_points],
+                [point[1] for point in self._run_points],
+                self.delta,
             )
         self._on_segment(segment)
 

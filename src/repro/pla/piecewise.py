@@ -20,7 +20,7 @@ class PiecewiseLinearFunction:
 
     __slots__ = ("_starts", "_segments", "initial_value")
 
-    def __init__(self, initial_value: float = 0.0):
+    def __init__(self, initial_value: float = 0.0) -> None:
         self._starts: list[int] = []
         self._segments: list[Segment] = []
         self.initial_value = initial_value

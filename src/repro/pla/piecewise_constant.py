@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from bisect import bisect_right
 
+from repro.analysis import contracts
+
 #: Machine words per record (value + timestamp), per Section 6.2.
 WORDS_PER_RECORD = 2
 
@@ -20,7 +22,7 @@ class PiecewiseConstantFunction:
 
     __slots__ = ("_times", "_values", "initial_value")
 
-    def __init__(self, initial_value: float = 0.0):
+    def __init__(self, initial_value: float = 0.0) -> None:
         self._times: list[int] = []
         self._values: list[float] = []
         self.initial_value = initial_value
@@ -63,17 +65,24 @@ class OnlinePWC:
         Reference value before any record exists.
     """
 
-    __slots__ = ("delta", "function", "_last_recorded")
+    __slots__ = ("__weakref__", "delta", "function", "_last_recorded")
 
-    def __init__(self, delta: float, initial_value: float = 0.0):
+    def __init__(self, delta: float, initial_value: float = 0.0) -> None:
         if delta <= 0:
             raise ValueError(f"delta must be positive, got {delta}")
         self.delta = float(delta)
         self.function = PiecewiseConstantFunction(initial_value=initial_value)
         self._last_recorded = float(initial_value)
 
+    @contracts.monotone_timestamps(param="t")
     def feed(self, t: int, value: float) -> None:
-        """Observe the counter value at time ``t``; record it if it drifted."""
+        """Observe the counter value at time ``t``; record it if it drifted.
+
+        Non-drifting observations skip the store, so out-of-order times
+        between records are invisible to :class:`PiecewiseConstantFunction`
+        validation; the ``@monotone_timestamps`` contract closes that gap
+        when enforcement is on.
+        """
         if abs(value - self._last_recorded) > self.delta:
             self.function.append(t, value)
             self._last_recorded = value

@@ -39,7 +39,7 @@ class SwingPLA:
         "_slope_hi",
     )
 
-    def __init__(self, delta: float, initial_value: float = 0.0):
+    def __init__(self, delta: float, initial_value: float = 0.0) -> None:
         if delta <= 0:
             raise ValueError(f"delta must be positive, got {delta}")
         self.delta = float(delta)

@@ -15,6 +15,8 @@ These are the classic data-stream summaries the paper makes persistent:
   of Section 5.2.
 """
 
+from __future__ import annotations
+
 from repro.sketch.ams import AMSSketch
 from repro.sketch.countmin import CountMinSketch
 from repro.sketch.exact import ExactFrequency

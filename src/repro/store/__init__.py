@@ -14,6 +14,8 @@ package is that vision in miniature:
   directory-level save/open built on :mod:`repro.io`.
 """
 
+from __future__ import annotations
+
 from repro.store.sharded import ShardedPersistentSketch
 from repro.store.store import SketchStore, StreamSpec
 

@@ -155,7 +155,7 @@ class SketchStore:
     # Ingest
     # ------------------------------------------------------------------ #
 
-    def update(
+    def update(  # sketchlint: disable=SL008 — delegates to each sketch's guarded clock
         self, name: str, item: int, count: int = 1, time: int | None = None
     ) -> None:
         """Feed one update into every sketch of stream ``name``.

@@ -7,6 +7,8 @@ match the paper's description of each attribute stream; see DESIGN.md
 section 3 for the substitution argument.
 """
 
+from __future__ import annotations
+
 from repro.streams.generators import (
     uniform_stream,
     zipf_stream,

@@ -1,10 +1,29 @@
-"""Shared test fixtures: small deterministic streams and truths."""
+"""Shared test fixtures: small deterministic streams and truths.
+
+The runtime contract layer (:mod:`repro.analysis.contracts`) is forced
+on for the whole suite: the env var must be set *before* any ``repro``
+module is imported so the contract decorators wrap the hot paths at
+class-definition time.
+"""
+
+import os
+
+os.environ["REPRO_CONTRACTS"] = "1"
 
 import pytest
 
+from repro.analysis import contracts
 from repro.streams.generators import zipf_stream
 from repro.streams.model import Stream
 from repro.streams.truth import GroundTruth
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _contracts_enforced():
+    """Every test runs with the sketch contracts enforced."""
+    if not contracts.enabled():  # pragma: no cover - guards setup drift
+        raise RuntimeError("REPRO_CONTRACTS must be active in the test suite")
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,212 @@
+"""Tests for the runtime contract layer (repro.analysis.contracts).
+
+Each contract must (a) reject a violating input when enforcement is on,
+and (b) be a no-op — identity for decorators — when enforcement is off.
+The suite itself runs with ``REPRO_CONTRACTS=1`` (see ``conftest.py``),
+so the wired-in library classes are exercised in enforcing mode here.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.analysis import contracts
+from repro.analysis.contracts import (
+    ContractViolation,
+    check_history_list,
+    check_segment_error,
+    check_sorted_timeline,
+    monotone_timestamps,
+)
+from repro.persistence.history_list import SampledHistoryList
+from repro.persistence.timeline import TimelineIndex
+from repro.pla.orourke import OnlinePLA
+from repro.pla.segment import Segment
+
+
+def test_violation_is_value_error():
+    assert issubclass(ContractViolation, ValueError)
+
+
+def test_suite_runs_enforced():
+    assert contracts.enabled()
+
+
+def test_enforced_context_manager_restores():
+    assert contracts.enabled()
+    with contracts.enforced(False):
+        assert not contracts.enabled()
+        with contracts.enforced(True):
+            assert contracts.enabled()
+        assert not contracts.enabled()
+    assert contracts.enabled()
+
+
+# --------------------------------------------------------------------- #
+# monotone_timestamps
+# --------------------------------------------------------------------- #
+
+
+def test_decorator_is_identity_when_disabled():
+    def fn(t):
+        return t
+
+    with contracts.enforced(False):
+        assert monotone_timestamps()(fn) is fn
+
+
+def test_decorator_rejects_nonincreasing_timestamps():
+    calls = []
+
+    @monotone_timestamps(param="t")
+    def fn(t):
+        calls.append(t)
+
+    fn(1)
+    fn(2)
+    with pytest.raises(ContractViolation):
+        fn(2)  # equal is also a violation: strictly increasing
+    with pytest.raises(ContractViolation):
+        fn(t=1)  # keyword passing goes through the same check
+    assert calls == [1, 2]
+
+
+def test_decorator_does_not_advance_on_failure():
+    @monotone_timestamps(param="t")
+    def fn(t, fail=False):
+        if fail:
+            raise RuntimeError("downstream failure")
+
+    fn(5)
+    with pytest.raises(RuntimeError):
+        fn(7, fail=True)
+    # The failed call at t=7 must not have been recorded.
+    fn(6)
+
+
+def test_decorator_tracks_per_instance():
+    class Box:
+        @monotone_timestamps(param="t")
+        def feed(self, t):
+            return t
+
+    a, b = Box(), Box()
+    a.feed(10)
+    b.feed(1)  # independent clock per instance
+    with pytest.raises(ContractViolation):
+        a.feed(10)
+
+
+def test_decorator_skips_none_timestamps():
+    @monotone_timestamps(param="t")
+    def fn(t=None):
+        return t
+
+    fn(None)
+    fn(3)
+    fn(None)  # auto-assignment sentinel is never checked
+    with pytest.raises(ContractViolation):
+        fn(3)
+
+
+def test_decorator_requires_named_parameter():
+    with pytest.raises(TypeError):
+
+        @monotone_timestamps(param="t")
+        def fn(x):
+            return x
+
+
+def test_history_list_offer_enforces_monotone_time():
+    history = SampledHistoryList(probability=1.0, rng=Random(0))
+    history.offer(1, 10)
+    history.offer(2, 11)
+    with pytest.raises(ContractViolation):
+        history.offer(2, 12)
+
+
+def test_online_pla_feed_enforces_across_runs():
+    pla = OnlinePLA(delta=1.0)
+    pla.feed(1, 1.0)
+    pla.feed(2, 2.0)
+    with pytest.raises(ContractViolation):
+        pla.feed(1, 3.0)
+
+
+# --------------------------------------------------------------------- #
+# check_sorted_timeline
+# --------------------------------------------------------------------- #
+
+
+def test_sorted_timeline_accepts_and_rejects():
+    check_sorted_timeline([[1, 2, 3], []])
+    with pytest.raises(ContractViolation):
+        check_sorted_timeline([[1, 2, 2]])
+    with pytest.raises(ContractViolation):
+        check_sorted_timeline([[1, 2, 3], [5, 4]])
+
+
+def test_sorted_timeline_noop_when_disabled():
+    with contracts.enforced(False):
+        check_sorted_timeline([[3, 1]])
+
+
+def test_timeline_index_rejects_unsorted_input():
+    with pytest.raises(ContractViolation):
+        TimelineIndex([[4, 2, 9]])
+
+
+# --------------------------------------------------------------------- #
+# check_segment_error
+# --------------------------------------------------------------------- #
+
+
+def test_segment_error_within_delta_passes():
+    segment = Segment(t_start=0, t_end=4, slope=1.0, value_at_start=0.0)
+    check_segment_error(segment, [0, 2, 4], [0.5, 1.5, 4.4], delta=0.5)
+
+
+def test_segment_error_beyond_delta_raises():
+    segment = Segment(t_start=0, t_end=4, slope=1.0, value_at_start=0.0)
+    with pytest.raises(ContractViolation):
+        check_segment_error(segment, [0, 2, 4], [0.0, 4.0, 4.0], delta=0.5)
+    with contracts.enforced(False):
+        check_segment_error(segment, [0, 2, 4], [0.0, 4.0, 4.0], delta=0.5)
+
+
+# --------------------------------------------------------------------- #
+# check_history_list
+# --------------------------------------------------------------------- #
+
+
+def _history(records, initial_value=0):
+    history = SampledHistoryList(
+        probability=0.5, rng=Random(0), initial_value=initial_value
+    )
+    for t, value in records:
+        history.force_sample(t, value)
+    return history
+
+
+def test_history_list_accepts_monotone_records():
+    check_history_list(_history([(1, 2), (4, 3), (9, 7)]))
+
+
+def test_history_list_rejects_decreasing_values():
+    with pytest.raises(ContractViolation):
+        check_history_list(_history([(1, 5), (4, 3)]))
+
+
+def test_history_list_rejects_value_below_initial():
+    with pytest.raises(ContractViolation):
+        check_history_list(_history([(1, 2)], initial_value=4))
+
+
+def test_history_list_rejects_unsorted_times():
+    with pytest.raises(ContractViolation):
+        check_history_list(_history([(4, 1), (1, 2)]))
+
+
+def test_history_list_noop_when_disabled():
+    with contracts.enforced(False):
+        check_history_list(_history([(4, 1), (1, 0)]))

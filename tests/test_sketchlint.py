@@ -1,0 +1,314 @@
+"""Rule-by-rule tests of the sketchlint static analyzer.
+
+Every SLxxx rule gets at least one fixture that triggers it and one that
+passes clean, plus engine-level tests (suppression, scoping, selection,
+output formats, exit codes, self-check on ``src/``).
+"""
+
+import json
+import textwrap
+from io import StringIO
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, lint_source
+from repro.analysis.sketchlint import lint_paths, run_lint
+
+SRC_PATH = "src/repro/core/module.py"  # in-scope for every rule
+
+
+def codes(source, path=SRC_PATH, select=None):
+    """Lint a snippet and return the set of rule codes found."""
+    return {
+        finding.code
+        for finding in lint_source(textwrap.dedent(source), path, select=select)
+    }
+
+
+# --------------------------------------------------------------------- #
+# SL001 — unseeded / module-global RNG
+# --------------------------------------------------------------------- #
+
+
+def test_sl001_flags_module_global_random():
+    assert "SL001" in codes(
+        """
+        import random
+        x = random.random()
+        """
+    )
+
+
+def test_sl001_flags_unseeded_constructors():
+    assert "SL001" in codes("rng = Random()\n")
+    assert "SL001" in codes("rng = np.random.default_rng()\n")
+    assert "SL001" in codes("x = np.random.rand(5)\n")
+
+
+def test_sl001_passes_seeded_rng():
+    assert "SL001" not in codes(
+        """
+        from random import Random
+        rng = Random(7)
+        value = rng.random()
+        generator = np.random.default_rng(seed)
+        """
+    )
+
+
+def test_sl001_exempts_stream_generators():
+    source = "x = random.random()\n"
+    assert "SL001" not in codes(source, path="src/repro/streams/generators.py")
+    assert "SL001" in codes(source, path="src/repro/streams/other.py")
+
+
+# --------------------------------------------------------------------- #
+# SL002 — float equality
+# --------------------------------------------------------------------- #
+
+
+def test_sl002_flags_float_equality():
+    assert "SL002" in codes("ok = slope == 0.5\n")
+    assert "SL002" in codes("ok = float(a) != b\n")
+    assert "SL002" in codes("ok = (a / b) == c\n")
+
+
+def test_sl002_passes_integer_equality_and_tolerance():
+    assert "SL002" not in codes("ok = count == 0\n")
+    assert "SL002" not in codes("ok = abs(a - b) < 1e-9\n")
+
+
+# --------------------------------------------------------------------- #
+# SL003 — mutable defaults
+# --------------------------------------------------------------------- #
+
+
+def test_sl003_flags_mutable_default():
+    assert "SL003" in codes("def f(xs=[]):\n    return xs\n")
+    assert "SL003" in codes("def f(*, m=dict()):\n    return m\n")
+
+
+def test_sl003_passes_none_default():
+    assert "SL003" not in codes(
+        """
+        def f(xs=None):
+            return [] if xs is None else xs
+        """
+    )
+
+
+# --------------------------------------------------------------------- #
+# SL004 — broad except
+# --------------------------------------------------------------------- #
+
+
+def test_sl004_flags_bare_and_broad_except():
+    assert "SL004" in codes(
+        """
+        try:
+            work()
+        except:
+            pass
+        """
+    )
+    assert "SL004" in codes(
+        """
+        try:
+            work()
+        except Exception:
+            cleanup()
+        """
+    )
+
+
+def test_sl004_passes_narrow_or_reraising_handlers():
+    assert "SL004" not in codes(
+        """
+        try:
+            work()
+        except ValueError:
+            cleanup()
+        """
+    )
+    assert "SL004" not in codes(
+        """
+        try:
+            work()
+        except Exception:
+            cleanup()
+            raise
+        """
+    )
+
+
+# --------------------------------------------------------------------- #
+# SL005 — assert in library code
+# --------------------------------------------------------------------- #
+
+
+def test_sl005_flags_assert_under_src():
+    assert "SL005" in codes("assert delta > 0\n")
+
+
+def test_sl005_ignores_tests_and_benchmarks():
+    assert "SL005" not in codes(
+        "assert delta > 0\n", path="benchmarks/bench_fig1.py"
+    )
+    assert "SL005" not in codes("assert delta > 0\n", path="tests/test_x.py")
+
+
+# --------------------------------------------------------------------- #
+# SL006 — future annotations import
+# --------------------------------------------------------------------- #
+
+
+def test_sl006_flags_missing_future_import():
+    assert "SL006" in codes("import math\n")
+
+
+def test_sl006_passes_with_future_import_or_empty_module():
+    assert "SL006" not in codes(
+        "from __future__ import annotations\nimport math\n"
+    )
+    assert "SL006" not in codes("")
+
+
+# --------------------------------------------------------------------- #
+# SL007 — untyped public API
+# --------------------------------------------------------------------- #
+
+
+def test_sl007_flags_untyped_public_method():
+    source = """
+        class Sketch:
+            def point(self, item, s=0):
+                return 0
+    """
+    assert "SL007" in codes(source)
+
+
+def test_sl007_passes_annotated_and_out_of_scope():
+    annotated = """
+        class Sketch:
+            def point(self, item: int, s: float = 0) -> float:
+                return 0.0
+
+            def _internal(self, anything):
+                return anything
+    """
+    assert "SL007" not in codes(annotated)
+    untyped = """
+        class Helper:
+            def render(self, chart):
+                return chart
+    """
+    assert "SL007" not in codes(untyped, path="src/repro/eval/module.py")
+
+
+# --------------------------------------------------------------------- #
+# SL008 — unguarded timestamp ingest
+# --------------------------------------------------------------------- #
+
+
+def test_sl008_flags_unguarded_feed():
+    assert "SL008" in codes(
+        """
+        class Tracker:
+            def feed(self, t, value):
+                self.value = value
+        """
+    )
+
+
+def test_sl008_passes_guarded_or_contracted_feed():
+    guarded = """
+        class Tracker:
+            def feed(self, t, value):
+                if t <= self.last:
+                    raise ValueError("time went backwards")
+                self.value = value
+    """
+    assert "SL008" not in codes(guarded)
+    contracted = """
+        class Tracker:
+            @contracts.monotone_timestamps(param="t")
+            def feed(self, t, value):
+                self.value = value
+    """
+    assert "SL008" not in codes(contracted)
+
+
+# --------------------------------------------------------------------- #
+# Engine behaviour
+# --------------------------------------------------------------------- #
+
+
+def test_per_line_suppression():
+    source = "x = random.random()  # sketchlint: disable=SL001\n"
+    assert "SL001" not in codes(source)
+    source_all = "x = random.random()  # sketchlint: disable=all\n"
+    assert "SL001" not in codes(source_all)
+    wrong_code = "x = random.random()  # sketchlint: disable=SL002\n"
+    assert "SL001" in codes(wrong_code)
+
+
+def test_select_restricts_rules():
+    source = "import math\nx = random.random()\n"
+    assert codes(source, select=["SL001"]) == {"SL001"}
+
+
+def test_unknown_select_is_operational_error():
+    out, err = StringIO(), StringIO()
+    status = run_lint(["src"], select=["SL999"], out=out, err=err)
+    assert status == 2
+    assert "SL999" in err.getvalue()
+
+
+def test_lint_paths_reports_syntax_errors(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    findings, errors = lint_paths([tmp_path])
+    assert findings == []
+    assert len(errors) == 1 and "syntax error" in errors[0]
+
+
+def test_run_lint_text_and_json(tmp_path):
+    module = tmp_path / "src" / "repro" / "core" / "m.py"
+    module.parent.mkdir(parents=True)
+    module.write_text("from __future__ import annotations\nassert True\n")
+    out = StringIO()
+    status = run_lint([tmp_path], fmt="json", out=out, err=StringIO())
+    assert status == 1
+    payload = json.loads(out.getvalue())
+    assert payload["count"] == 1
+    assert payload["findings"][0]["code"] == "SL005"
+    out = StringIO()
+    status = run_lint(
+        [tmp_path], fmt="text", warn_only=True, out=out, err=StringIO()
+    )
+    assert status == 0
+    assert "SL005" in out.getvalue()
+
+
+def test_rule_table_is_complete():
+    assert sorted(RULES) == [f"SL00{i}" for i in range(1, 9)]
+    for cls in RULES.values():
+        assert cls.summary and cls.rationale
+
+
+def test_src_tree_is_self_clean():
+    src = Path(__file__).resolve().parent.parent / "src"
+    if not src.is_dir():  # pragma: no cover - sdist layouts
+        pytest.skip("src tree not present")
+    findings, errors = lint_paths([src])
+    assert errors == []
+    assert [finding.format() for finding in findings] == []
+
+
+def test_cli_lint_subcommand(capsys):
+    from repro.cli import main
+
+    assert main(["lint", "--list-rules"]) == 0
+    captured = capsys.readouterr()
+    assert "SL001" in captured.out
