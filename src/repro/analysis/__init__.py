@@ -3,7 +3,7 @@
 Two halves:
 
 * :mod:`repro.analysis.sketchlint` — a repo-specific AST linter whose
-  rules (SL001..SL008) encode invariants the paper's analysis relies on
+  rules (SL001..SL009) encode invariants the paper's analysis relies on
   but ordinary Python tooling cannot see (seeded RNG discipline for the
   Equation (1) unbiasedness, monotone-timestamp guards on ingest paths,
   no float equality in sketch math, ...).  Run it with

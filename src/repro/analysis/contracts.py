@@ -189,6 +189,85 @@ def check_segment_error(
             )
 
 
+def check_sketch(sketch: Any, what: str = "sketch") -> None:
+    """Structural invariants of one persistent sketch, recursively.
+
+    Duck-typed so the contract layer needs no imports from
+    :mod:`repro.core` (which imports *this* module): Count-Min-style
+    sketches expose ``_trackers`` (per-counter PLA/PWC histories),
+    sampled AMS sketches expose ``_histories``, and the dyadic
+    heavy-hitter hierarchy exposes ``_sketches`` plus a ``_mass``
+    tracker.  Used by checkpoint recovery to re-validate a rebuilt store
+    before it may serve queries.
+    """
+    if not ENABLED:
+        return
+    subsketches = getattr(sketch, "_sketches", None)
+    if subsketches is not None:
+        for level, sub in enumerate(subsketches):
+            check_sketch(sub, what=f"{what}[level {level}]")
+    mass = getattr(sketch, "_mass", None)
+    if mass is not None:
+        _check_tracker(mass, what=f"{what}.mass")
+    trackers = getattr(sketch, "_trackers", None)
+    if trackers is not None:
+        for row, table in enumerate(trackers):
+            for col, tracker in table.items():
+                _check_tracker(tracker, what=f"{what}[{row}][{col}]")
+    histories = getattr(sketch, "_histories", None)
+    if histories is not None:
+        for row, by_sign in enumerate(histories):
+            for sign, copies in enumerate(by_sign):
+                for copy, table in enumerate(copies):
+                    for col, history in table.items():
+                        check_history_list(
+                            history,
+                            what=(
+                                f"{what}[{row}][b={sign}][copy {copy}]"
+                                f"[col {col}]"
+                            ),
+                        )
+
+
+def _check_tracker(tracker: Any, what: str) -> None:
+    """Timeline invariants of a PLA/PWC counter tracker."""
+    pla = getattr(tracker, "_pla", None)
+    if pla is not None:
+        starts = [segment.t_start for segment in pla.function]
+        ends = [segment.t_end for segment in pla.function]
+        check_sorted_timeline([starts], what=f"{what} (PLA segment starts)")
+        for t_start, t_end in zip(starts, ends):
+            if t_end < t_start:
+                raise ContractViolation(
+                    f"{what}: PLA segment ends before it starts "
+                    f"({t_end} < {t_start})"
+                )
+    pwc = getattr(tracker, "_pwc", None)
+    if pwc is not None:
+        check_sorted_timeline(
+            [pwc.function._times], what=f"{what} (PWC record times)"
+        )
+
+
+def check_store(store: Any, what: str = "store") -> None:
+    """Re-validate every sketch of a :class:`~repro.store.SketchStore`.
+
+    Called by :meth:`repro.runtime.IngestRuntime.recover` (inside an
+    ``enforced(True)`` scope, so recovery is always checked even when
+    contracts are off globally) after a checkpoint-plus-WAL rebuild.
+    """
+    if not ENABLED:
+        return
+    for name, state in sorted(store._streams.items()):
+        for label, sketch in (
+            ("point", state.point_sketch),
+            ("hh", state.hh_sketch),
+            ("join", state.join_sketch),
+        ):
+            if sketch is not None:
+                check_sketch(sketch, what=f"{what}:{name}.{label}")
+
+
 def check_history_list(history: Any, what: str = "history list") -> None:
     """Structural invariants of a sampled history list (Section 4.1).
 

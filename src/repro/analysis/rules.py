@@ -1,4 +1,4 @@
-"""The sketchlint rule set (SL001–SL008).
+"""The sketchlint rule set (SL001–SL009).
 
 Each rule is a small visitor encoding one invariant of the paper's
 analysis or of disciplined reproduction engineering.  Rules are scoped
@@ -471,4 +471,46 @@ class UnguardedTimestampRule(Rule):
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         """Check one async function definition."""
         self._check(node)
+        self.generic_visit(node)
+
+
+@register
+class NonAtomicWriteRule(Rule):
+    """SL009: non-atomic file write in a durability-critical package.
+
+    ``Path.write_text`` / ``Path.write_bytes`` to a final path can be
+    torn by a crash mid-write, leaving an archive, manifest or pointer
+    half-written — precisely the corruption the checkpoint/WAL recovery
+    design exists to rule out.  Inside ``store/``, ``io/`` and
+    ``runtime/``, all durable writes must go through the
+    :mod:`repro.io.atomic` helpers (tmp file + fsync + rename); the
+    helpers themselves write through raw file handles, so this rule does
+    not fire on them.
+    """
+
+    code = "SL009"
+    summary = "non-atomic write_text/write_bytes in durability layer"
+    rationale = (
+        "A crash mid-write tears final-path writes; store/, io/ and "
+        "runtime/ must write via repro.io.atomic (tmp + fsync + rename)."
+    )
+
+    _SCOPES = {"store", "io", "runtime"}
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return _in_library(path) and bool(cls._SCOPES & set(_parts(path)))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag direct final-path write calls."""
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            self.report(
+                node,
+                f".{func.attr}() writes the final path non-atomically; "
+                "use repro.io.atomic (tmp + fsync + rename)",
+            )
         self.generic_visit(node)

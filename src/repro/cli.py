@@ -16,6 +16,11 @@ Three groups of functionality::
     # Query an archive about any past window.
     python -m repro.cli query urls.sketch.gz point --item 123 --s 0 --t 50000
 
+    # Crash-safe ingestion (WAL + checkpoints) and post-crash recovery.
+    python -m repro.cli ingest ./rt records.jsonl --create-stream urls:8:1024
+    python -m repro.cli ingest ./rt more.jsonl --resume
+    python -m repro.cli recover ./rt --export ./rt.store
+
     # Static analysis: the sketch-invariant linter (see
     # docs/static-analysis.md); `python -m repro.analysis` is equivalent.
     python -m repro.cli lint src --format json
@@ -128,6 +133,93 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
 
+def _parse_stream_specs(raw_specs: list[str]):
+    """``name:delta[:universe]`` CLI specs into :class:`StreamSpec`."""
+    from repro.store import StreamSpec
+
+    specs = []
+    for raw in raw_specs:
+        parts = raw.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(
+                f"--create-stream expects name:delta[:universe], got {raw!r}"
+            )
+        universe = int(parts[2]) if len(parts) == 3 else None
+        specs.append(
+            StreamSpec(
+                name=parts[0],
+                delta=float(parts[1]),
+                universe=universe,
+                heavy_hitters=universe is not None,
+                quantiles=universe is not None,
+            )
+        )
+    return specs
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.runtime import IngestPolicy, IngestRuntime
+    from repro.store import SketchStore
+    from repro.streams.records import read_jsonl_records
+
+    policy = IngestPolicy(
+        on_malformed=args.on_malformed, on_late=args.on_late
+    )
+    if args.resume:
+        runtime = IngestRuntime.recover(
+            args.directory,
+            policy=policy,
+            checkpoint_every=args.checkpoint_every,
+        )
+        print(
+            f"resumed at seq {runtime.applied_seq} "
+            f"({runtime.stats.replayed} WAL records replayed)"
+        )
+    else:
+        specs = _parse_stream_specs(args.create_stream)
+        if not specs:
+            raise SystemExit(
+                "fresh runtimes need at least one --create-stream "
+                "name:delta[:universe] (or pass --resume)"
+            )
+        store = SketchStore(
+            width=args.width, depth=args.depth, seed=args.seed
+        )
+        for spec in specs:
+            store.create(spec)
+        runtime = IngestRuntime.create(
+            args.directory,
+            store,
+            policy=policy,
+            checkpoint_every=args.checkpoint_every,
+        )
+    for _lineno, raw in read_jsonl_records(args.records):
+        runtime.ingest(raw)
+    runtime.checkpoint()
+    runtime.close()
+    for key, value in runtime.stats.as_dict().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.runtime import IngestRuntime, RecoveryError
+
+    try:
+        runtime = IngestRuntime.recover(args.directory)
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    if args.export:
+        runtime.store.save(args.export)
+        print(f"exported recovered store to {args.export}")
+    runtime.close()
+    print(_json.dumps(runtime.describe(), indent=2))
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.io import load
 
@@ -209,6 +301,51 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--warn-only", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="crash-safe ingestion of a JSON-lines record file "
+        "(WAL + checkpoints; see docs/robustness.md)",
+    )
+    ingest.add_argument("directory", help="runtime directory")
+    ingest.add_argument("records", help="JSON-lines record file")
+    ingest.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover the runtime directory and continue ingesting",
+    )
+    ingest.add_argument(
+        "--create-stream",
+        action="append",
+        default=[],
+        metavar="NAME:DELTA[:UNIVERSE]",
+        help="declare a stream for a fresh runtime (repeatable; a "
+        "universe enables heavy hitters and quantiles)",
+    )
+    ingest.add_argument("--checkpoint-every", type=int, default=1000)
+    ingest.add_argument(
+        "--on-malformed",
+        choices=("raise", "skip", "quarantine"),
+        default="quarantine",
+    )
+    ingest.add_argument(
+        "--on-late",
+        choices=("raise", "skip", "quarantine"),
+        default="quarantine",
+    )
+    ingest.add_argument("--width", type=int, default=2048)
+    ingest.add_argument("--depth", type=int, default=5)
+    ingest.add_argument("--seed", type=int, default=0)
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild a crashed ingest runtime (checkpoint + WAL replay) "
+        "and print its state",
+    )
+    recover.add_argument("directory", help="runtime directory")
+    recover.add_argument(
+        "--export", default=None, help="also save the recovered store here"
+    )
+
     query = sub.add_parser("query", help="query a sketch archive")
     query.add_argument("archive")
     query.add_argument("kind", choices=QUERY_KINDS)
@@ -234,6 +371,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_build(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "query":
         return _cmd_query(args)
     raise SystemExit(2)  # pragma: no cover - argparse enforces choices

@@ -13,6 +13,22 @@ ingested on one machine can be queried, or further updated, on another.
 
 from __future__ import annotations
 
-from repro.io.serialize import from_dict, load, save, to_dict
+from repro.io.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_directory,
+    replace_directory,
+)
+from repro.io.serialize import SerializationError, from_dict, load, save, to_dict
 
-__all__ = ["save", "load", "to_dict", "from_dict"]
+__all__ = [
+    "save",
+    "load",
+    "to_dict",
+    "from_dict",
+    "SerializationError",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
+    "replace_directory",
+]

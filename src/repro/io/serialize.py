@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import zlib
 from pathlib import Path
 from typing import Any, Callable
 
@@ -32,6 +33,7 @@ from repro.core.persistent_ams import PersistentAMS
 from repro.core.persistent_countmin import PersistentCountMin, PWCCountMin
 from repro.core.pwc_ams import PWCAMS
 from repro.hashing.families import IdentityHashFamily
+from repro.io.atomic import atomic_write_bytes
 from repro.persistence.epochs import Epoch, EpochManager
 from repro.persistence.history_list import SampledHistoryList
 from repro.persistence.tracker import PLATracker, PWCTracker
@@ -572,21 +574,41 @@ def from_dict(document: dict) -> Any:
 
 
 def save(sketch: Any, path: str | Path) -> Path:
-    """Serialize ``sketch`` to ``path`` (gzip when it ends with ``.gz``)."""
+    """Serialize ``sketch`` to ``path`` (gzip when it ends with ``.gz``).
+
+    The write is atomic (tmp + fsync + rename via :mod:`repro.io.atomic`):
+    a crash mid-save leaves the previous archive intact, never a torn one.
+    """
     path = Path(path)
     payload = json.dumps(to_dict(sketch), separators=(",", ":"))
     if path.suffix == ".gz":
-        path.write_bytes(gzip.compress(payload.encode()))
+        data = gzip.compress(payload.encode())
     else:
-        path.write_text(payload)
-    return path
+        data = payload.encode()
+    return atomic_write_bytes(path, data)
 
 
 def load(path: str | Path) -> Any:
-    """Deserialize a sketch previously written by :func:`save`."""
+    """Deserialize a sketch previously written by :func:`save`.
+
+    Truncated or corrupt archives (partial gzip stream, cut-off JSON,
+    bad UTF-8) raise :class:`SerializationError` naming the offending
+    path, so callers — notably checkpoint recovery — can distinguish "this
+    snapshot is damaged, fall back" from a programming error.
+    """
     path = Path(path)
-    if path.suffix == ".gz":
-        payload = gzip.decompress(path.read_bytes()).decode()
-    else:
-        payload = path.read_text()
-    return from_dict(json.loads(payload))
+    try:
+        if path.suffix == ".gz":
+            payload = gzip.decompress(path.read_bytes()).decode()
+        else:
+            payload = path.read_text(encoding="utf-8")
+        document = json.loads(payload)
+    except (gzip.BadGzipFile, EOFError, zlib.error) as exc:
+        raise SerializationError(f"{path}: truncated or corrupt gzip archive: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise SerializationError(f"{path}: archive is not valid UTF-8: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: archive is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SerializationError(f"{path}: archive is not a sketch document")
+    return from_dict(document)

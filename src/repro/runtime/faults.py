@@ -1,0 +1,124 @@
+"""Deterministic fault injection for the ingestion runtime.
+
+Crash-safety claims are worthless untested, and crashes found by chance
+are unreproducible.  A :class:`FaultPlan` scripts *exactly* where the
+runtime fails: at the Nth WAL record (before durability, torn mid-write,
+or after durability), at the Nth checkpoint (transient ``OSError`` for
+the retry path, or a crash between snapshot commit and pointer flip).
+Because every trigger is a plain counter threshold, a test can enumerate
+every fault point of a given workload and assert recovery at each one —
+the crash-recovery property test in ``tests/test_runtime_recovery.py``.
+
+:class:`SimulatedCrash` deliberately subclasses :class:`BaseException`:
+a simulated power cut must not be swallowed by ``except Exception`` /
+``except OSError`` handlers (notably the snapshot retry loop), exactly
+as a real ``kill -9`` would not be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SimulatedCrash(BaseException):
+    """The process 'dies' here; only the test harness may catch this."""
+
+
+@dataclass
+class FaultPlan:
+    """Scripted failures, keyed by 1-based record / checkpoint ordinals.
+
+    Attributes
+    ----------
+    crash_before_record:
+        Crash when ingesting the Nth record, before anything reaches the
+        WAL (the record is lost — the caller never got an acknowledgment).
+    torn_write_at_record:
+        Crash while appending the Nth record to the WAL, after roughly
+        half its bytes hit the file (a torn write recovery must discard).
+    crash_after_record:
+        Crash right after the Nth record is durable in the WAL but before
+        it is applied to the in-memory store (recovery must replay it).
+    io_error_at_checkpoint:
+        Raise ``OSError`` at the start of the Nth checkpoint attempt,
+        ``io_error_count`` consecutive times (exercises retry/backoff).
+    crash_at_checkpoint:
+        Crash during the Nth checkpoint, after the snapshot directory is
+        written but before the ``CHECKPOINT`` pointer commits (recovery
+        must ignore the orphan snapshot and use the previous one).
+    truncate_snapshot_at_checkpoint:
+        Let the Nth checkpoint commit, then corrupt its archives by
+        truncation *and crash* (recovery must detect the damage and fall
+        back to the previous checkpoint + a longer WAL replay).
+    """
+
+    crash_before_record: int | None = None
+    torn_write_at_record: int | None = None
+    crash_after_record: int | None = None
+    io_error_at_checkpoint: int | None = None
+    io_error_count: int = 1
+    crash_at_checkpoint: int | None = None
+    truncate_snapshot_at_checkpoint: int | None = None
+
+    records_seen: int = field(default=0, init=False)
+    checkpoints_seen: int = field(default=0, init=False)
+    _io_errors_raised: int = field(default=0, init=False)
+
+    # ------------------------------------------------------------------ #
+    # Record-path hooks (called by the runtime / WAL)
+    # ------------------------------------------------------------------ #
+
+    def next_record(self) -> int:
+        """Advance the record ordinal; crash if scripted pre-WAL."""
+        self.records_seen += 1
+        if self.records_seen == self.crash_before_record:
+            raise SimulatedCrash(
+                f"scripted crash before record {self.records_seen}"
+            )
+        return self.records_seen
+
+    def tear_this_record(self) -> bool:
+        """Whether the current record's WAL append should be torn."""
+        return self.records_seen == self.torn_write_at_record
+
+    def after_record_durable(self) -> None:
+        """Crash hook between WAL durability and store application."""
+        if self.records_seen == self.crash_after_record:
+            raise SimulatedCrash(
+                f"scripted crash after record {self.records_seen} "
+                "reached the WAL"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint-path hooks
+    # ------------------------------------------------------------------ #
+
+    def next_checkpoint(self) -> int:
+        """Advance the checkpoint ordinal (one per *attempted* snapshot)."""
+        self.checkpoints_seen += 1
+        return self.checkpoints_seen
+
+    def before_snapshot(self) -> None:
+        """Transient-IO hook at the start of a snapshot attempt."""
+        if (
+            self.checkpoints_seen == self.io_error_at_checkpoint
+            and self._io_errors_raised < self.io_error_count
+        ):
+            self._io_errors_raised += 1
+            raise OSError(
+                f"scripted transient IO error at checkpoint "
+                f"{self.checkpoints_seen} "
+                f"(attempt {self._io_errors_raised}/{self.io_error_count})"
+            )
+
+    def before_pointer_commit(self) -> None:
+        """Crash hook between snapshot write and pointer commit."""
+        if self.checkpoints_seen == self.crash_at_checkpoint:
+            raise SimulatedCrash(
+                f"scripted crash mid-checkpoint {self.checkpoints_seen} "
+                "(snapshot written, pointer not committed)"
+            )
+
+    def corrupt_committed_snapshot(self) -> bool:
+        """Whether to truncate the just-committed snapshot and crash."""
+        return self.checkpoints_seen == self.truncate_snapshot_at_checkpoint

@@ -1,0 +1,182 @@
+"""Per-stream ingest policies: what to do when the input is ragged.
+
+The sketches demand pristine input — strictly increasing timestamps,
+well-formed integer records — but production collectors deliver
+duplicates, clock skew and garbage.  An :class:`IngestPolicy` makes the
+runtime's reaction explicit and configurable per failure class:
+
+============  =========================================================
+``raise``     propagate (development / strict pipelines)
+``skip``      drop the record, count it in :class:`IngestStats`
+``quarantine``  append the record + reason to the dead-letter file,
+              count it, continue
+============  =========================================================
+
+Lateness means a resolved timestamp at or before the target stream's
+clock (the paper's model admits at most one arrival per tick, so a
+duplicate timestamp is late too).  Malformedness is anything
+:func:`repro.streams.records.parse_record` rejects.
+
+Snapshot I/O gets a separate knob: transient ``OSError`` during a
+checkpoint is retried up to ``max_retries`` times with exponential
+backoff (deterministic, injectable sleep — tests pass a recording stub).
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+from repro.io.atomic import fsync_directory
+
+T = TypeVar("T")
+
+#: Valid policy actions for malformed / late records.
+ACTIONS = ("raise", "skip", "quarantine")
+
+
+class MalformedRecordError(ValueError):
+    """A malformed record arrived under the ``raise`` policy."""
+
+
+class LateRecordError(ValueError):
+    """A late/non-monotone record arrived under the ``raise`` policy."""
+
+
+class SnapshotRetryError(RuntimeError):
+    """Snapshot I/O kept failing after all scripted retries."""
+
+
+@dataclass(frozen=True)
+class IngestPolicy:
+    """How the runtime reacts to ragged input and flaky snapshot I/O.
+
+    Attributes
+    ----------
+    on_malformed, on_late:
+        One of :data:`ACTIONS`.
+    max_retries:
+        Additional snapshot attempts after the first failure.
+    backoff_base:
+        Sleep before the first retry, in seconds.
+    backoff_factor:
+        Multiplier between consecutive retries.
+    """
+
+    on_malformed: str = "raise"
+    on_late: str = "raise"
+    max_retries: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("on_malformed", self.on_malformed),
+            ("on_late", self.on_late),
+        ):
+            if value not in ACTIONS:
+                raise ValueError(
+                    f"{name} must be one of {ACTIONS}, got {value!r}"
+                )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff_base >= 0 and backoff_factor >= 1")
+
+
+@dataclass
+class IngestStats:
+    """Counters surfaced on the runtime (and by ``repro recover``)."""
+
+    ingested: int = 0
+    malformed: int = 0
+    late: int = 0
+    quarantined: int = 0
+    checkpoints: int = 0
+    snapshot_retries: int = 0
+    replayed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (stable key order) for logs and the CLI."""
+        return {
+            "ingested": self.ingested,
+            "malformed": self.malformed,
+            "late": self.late,
+            "quarantined": self.quarantined,
+            "checkpoints": self.checkpoints,
+            "snapshot_retries": self.snapshot_retries,
+            "replayed": self.replayed,
+        }
+
+
+class DeadLetterFile:
+    """Append-only JSON-lines quarantine for rejected records.
+
+    Each entry records the failure class, the reason, and the offending
+    raw record (stringified when not JSON-serializable).  Appends are
+    flushed line-at-a-time; the file is an operator-facing artifact, not
+    a recovery input, so it does not need WAL-grade framing.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, kind: str, reason: str, raw: object) -> None:
+        """Quarantine one record."""
+        try:
+            payload = json.dumps(raw)
+        except TypeError:
+            payload = json.dumps(repr(raw))
+        entry = json.dumps(
+            {"kind": kind, "reason": reason, "record": json.loads(payload)},
+            separators=(",", ":"),
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(entry + "\n")
+            handle.flush()
+        fsync_directory(self.path.parent)
+
+    def entries(self) -> list[dict[str, Any]]:
+        """All quarantined entries (empty when the file does not exist)."""
+        if not self.path.exists():
+            return []
+        out = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                out.append(json.loads(line))
+        return out
+
+
+def run_with_retry(
+    operation: Callable[[], T],
+    policy: IngestPolicy,
+    stats: IngestStats,
+    sleep: Callable[[float], None] | None = None,
+    what: str = "snapshot",
+) -> T:
+    """Run ``operation`` retrying transient ``OSError`` with backoff.
+
+    Only ``OSError`` is retried: a :class:`SimulatedCrash` is a
+    ``BaseException`` and always propagates (as a real crash would), and
+    non-IO errors indicate bugs, not flaky disks.  Raises
+    :class:`SnapshotRetryError` once the budget is exhausted.
+    """
+    sleep = _time.sleep if sleep is None else sleep
+    delay = policy.backoff_base
+    last: OSError | None = None
+    for attempt in range(policy.max_retries + 1):
+        if attempt > 0:
+            stats.snapshot_retries += 1
+            sleep(delay)
+            delay *= policy.backoff_factor
+        try:
+            return operation()
+        except OSError as exc:
+            last = exc
+    raise SnapshotRetryError(
+        f"{what} failed after {policy.max_retries + 1} attempts: {last}"
+    ) from last

@@ -1,0 +1,464 @@
+"""Crash-safe ingestion runtime wrapping a :class:`SketchStore`.
+
+Durability protocol (WAL-before-apply, snapshot-behind)::
+
+    ingest(record)
+      1. classify: malformed / late records go through the policy
+      2. resolve the timestamp (auto-tick against the stream's clock)
+      3. append to the write-ahead log, fsync     <- record is durable
+      4. apply to the in-memory store
+      5. every `checkpoint_every` records: checkpoint()
+
+    checkpoint()
+      a. save the store to checkpoints/ckpt-<covered_seq>/  (atomic:
+         tmp dir + fsync + rename, retried with backoff on OSError)
+      b. atomically rewrite the CHECKPOINT pointer file
+      c. rotate the WAL and prune segments/checkpoints now redundant
+         (the two newest checkpoints are retained, so one damaged
+         snapshot never loses history)
+
+A crash at *any* point leaves the directory recoverable:
+:meth:`IngestRuntime.recover` loads the newest checkpoint that opens
+cleanly (falling back on :class:`~repro.io.SerializationError`), repairs
+torn WAL tails, replays the WAL tail *sequentially* (bit-identical for
+deterministic trackers; the sampled AMS resumes from its serialized RNG
+state, so an uninterrupted twin makes the same draws), re-validates the
+timeline contracts, and resumes at ``applied_seq + 1``.  Records whose
+WAL append never completed were never acknowledged, so re-sending them
+after recovery is exactly-once, not a duplicate.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.analysis import contracts
+from repro.io import SerializationError
+from repro.io.atomic import atomic_write_text
+from repro.runtime.faults import FaultPlan, SimulatedCrash
+from repro.runtime.policies import (
+    DeadLetterFile,
+    IngestPolicy,
+    IngestStats,
+    LateRecordError,
+    MalformedRecordError,
+    run_with_retry,
+)
+from repro.runtime.wal import WriteAheadLog
+from repro.store.store import SketchStore
+from repro.streams.model import Stream
+from repro.streams.records import IngestRecord, RecordError, parse_record
+
+_CKPT_RE = re.compile(r"^ckpt-(\d{12})$")
+
+POINTER_NAME = "CHECKPOINT"
+DEADLETTER_NAME = "deadletter.jsonl"
+
+#: Checkpoints retained after pruning; two, so recovery can always fall
+#: back past one damaged snapshot.
+RETAINED_CHECKPOINTS = 2
+
+
+class RecoveryError(RuntimeError):
+    """The runtime directory holds no recoverable checkpoint."""
+
+
+class IngestRuntime:
+    """Fault-tolerant ingestion for a multi-stream sketch store.
+
+    Construct with :meth:`create` (fresh directory) or :meth:`recover`
+    (after a crash or clean shutdown); the constructor itself is the
+    shared plumbing and takes already-resolved state.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        store: SketchStore,
+        *,
+        policy: IngestPolicy | None = None,
+        checkpoint_every: int = 1000,
+        faults: FaultPlan | None = None,
+        sleep: Callable[[float], None] | None = None,
+        applied_seq: int = 0,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.directory = Path(directory)
+        self.store = store
+        self.policy = policy or IngestPolicy()
+        self.checkpoint_every = checkpoint_every
+        self.faults = faults
+        self._sleep = sleep
+        self.applied_seq = applied_seq
+        self.stats = IngestStats()
+        self.dead_letters = DeadLetterFile(self.directory / DEADLETTER_NAME)
+        self.wal = WriteAheadLog(
+            self.directory / "wal", next_seq=applied_seq + 1, faults=faults
+        )
+        self._clocks: dict[str, int] = {
+            name: store._state(name).point_sketch.now for name in store.streams()
+        }
+        self._since_checkpoint = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        store: SketchStore,
+        *,
+        policy: IngestPolicy | None = None,
+        checkpoint_every: int = 1000,
+        faults: FaultPlan | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> "IngestRuntime":
+        """Initialize a fresh runtime directory around ``store``.
+
+        Takes a bootstrap checkpoint immediately (covering sequence 0),
+        so a crash at any later instant — including before the first
+        scheduled checkpoint — recovers to a well-defined state.  The
+        bootstrap snapshot does not consult the fault plan: checkpoint
+        ordinals in a :class:`FaultPlan` count post-creation checkpoints.
+        """
+        directory = Path(directory)
+        if (directory / POINTER_NAME).exists() or (
+            directory / "checkpoints"
+        ).exists():
+            raise FileExistsError(
+                f"{directory} already contains an ingest runtime; "
+                "use IngestRuntime.recover()"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        runtime = cls(
+            directory,
+            store,
+            policy=policy,
+            checkpoint_every=checkpoint_every,
+            faults=faults,
+            sleep=sleep,
+        )
+        runtime._checkpoint_inner(bootstrap=True)
+        return runtime
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str | Path,
+        *,
+        policy: IngestPolicy | None = None,
+        checkpoint_every: int = 1000,
+        faults: FaultPlan | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> "IngestRuntime":
+        """Rebuild the runtime from its directory after a crash.
+
+        Tries checkpoints newest-first, skipping any whose snapshot no
+        longer opens cleanly (truncated archive, damaged manifest); the
+        WAL tail past the chosen checkpoint is replayed sequentially.
+        After replay the recovered store's timeline contracts are
+        re-validated (regardless of ``REPRO_CONTRACTS``), so a corrupt
+        recovery can never serve queries silently.
+        """
+        from repro.engine.replay import replay_records
+
+        directory = Path(directory)
+        # A crash mid-save can orphan a staging directory; it was never
+        # committed, so recovery sweeps it.
+        if (directory / "checkpoints").is_dir():
+            for staging in (directory / "checkpoints").glob(
+                ".ckpt-*.saving.*"
+            ):
+                shutil.rmtree(staging, ignore_errors=True)
+        candidates = cls._checkpoints(directory)
+        if not candidates:
+            raise RecoveryError(f"{directory}: no checkpoints to recover from")
+        failures: list[str] = []
+        store: SketchStore | None = None
+        covered = 0
+        for covered_seq, path in reversed(candidates):
+            try:
+                store = SketchStore.open(path)
+                covered = covered_seq
+                break
+            except SerializationError as exc:
+                failures.append(str(exc))
+        if store is None:
+            raise RecoveryError(
+                f"{directory}: every checkpoint is damaged: "
+                + "; ".join(failures)
+            )
+
+        wal = WriteAheadLog(directory / "wal", next_seq=covered + 1)
+        cls._repair_torn_tails(wal)
+        last_seq = covered
+
+        def tracked() -> Iterable[dict[str, Any]]:
+            nonlocal last_seq
+            for record in wal.replay(covered):
+                last_seq = record["seq"]
+                yield record
+
+        replayed = replay_records(store, tracked())
+        with contracts.enforced(True):
+            contracts.check_store(store)
+
+        runtime = cls(
+            directory,
+            store,
+            policy=policy,
+            checkpoint_every=checkpoint_every,
+            faults=faults,
+            sleep=sleep,
+            applied_seq=last_seq,
+        )
+        runtime.stats.replayed = replayed
+        # Re-align the checkpoint schedule with an uninterrupted run:
+        # snapshotting finalizes open PLA runs, so checkpoint *positions*
+        # shape future segmentation.  Counting the replayed tail (and
+        # immediately taking a checkpoint the crash pre-empted) keeps a
+        # recovered run bit-identical to a never-crashed twin with the
+        # same cadence.
+        runtime._since_checkpoint = last_seq - covered
+        if runtime._since_checkpoint >= checkpoint_every:
+            runtime.checkpoint()
+        return runtime
+
+    def close(self) -> None:
+        """Seal the WAL (no implicit checkpoint; state is already durable)."""
+        self.wal.close()
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, raw: object) -> bool:
+        """Ingest one raw record through the policy pipeline.
+
+        Returns ``True`` when the record was applied, ``False`` when the
+        active policy dropped or quarantined it.  Acknowledgment
+        contract: once this method returns ``True`` the record is
+        durable in the WAL; a record that never returned (crash) may be
+        re-sent after recovery without double counting.
+        """
+        if isinstance(raw, IngestRecord):
+            record = raw
+        elif isinstance(raw, RecordError):
+            return self._reject("malformed", str(raw), None)
+        else:
+            try:
+                record = parse_record(raw)
+            except RecordError as exc:
+                return self._reject("malformed", str(exc), raw)
+        clock = self._clocks.get(record.stream)
+        if clock is None:
+            return self._reject(
+                "malformed",
+                f"unknown stream {record.stream!r}",
+                record.to_wire(),
+            )
+        if record.time is None:
+            time = clock + 1
+        elif record.time <= clock:
+            return self._reject(
+                "late",
+                f"stream {record.stream!r} clock is at {clock}, "
+                f"record time {record.time} is not past it",
+                record.to_wire(),
+            )
+        else:
+            time = record.time
+
+        if self.faults is not None:
+            self.faults.next_record()
+        seq = self.wal.append(
+            {
+                "stream": record.stream,
+                "item": record.item,
+                "count": record.count,
+                "time": time,
+            }
+        )
+        if self.faults is not None:
+            self.faults.after_record_durable()
+        self.store.update(record.stream, record.item, record.count, time)
+        self._clocks[record.stream] = time
+        self.applied_seq = seq
+        self.stats.ingested += 1
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+        return True
+
+    def ingest_stream(self, name: str, stream: Stream) -> int:
+        """Ingest a materialized stream into stream ``name``; returns
+        the number of applied records."""
+        applied = 0
+        for update in stream:
+            if self.ingest(
+                IngestRecord(
+                    stream=name,
+                    item=update.item,
+                    count=update.count,
+                    time=update.time,
+                )
+            ):
+                applied += 1
+        return applied
+
+    def _reject(self, kind: str, reason: str, raw: object) -> bool:
+        if kind == "malformed":
+            self.stats.malformed += 1
+            action = self.policy.on_malformed
+            error: type[ValueError] = MalformedRecordError
+        else:
+            self.stats.late += 1
+            action = self.policy.on_late
+            error = LateRecordError
+        if action == "raise":
+            raise error(reason)
+        if action == "quarantine":
+            self.dead_letters.append(kind, reason, raw)
+            self.stats.quarantined += 1
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self) -> Path:
+        """Snapshot the store and advance the durable recovery point."""
+        return self._checkpoint_inner(bootstrap=False)
+
+    def _checkpoint_inner(self, bootstrap: bool) -> Path:
+        faults = None if bootstrap else self.faults
+        if faults is not None:
+            faults.next_checkpoint()
+        covered = self.applied_seq
+        target = self.directory / "checkpoints" / f"ckpt-{covered:012d}"
+        target.parent.mkdir(parents=True, exist_ok=True)
+
+        def attempt() -> Path:
+            if faults is not None:
+                faults.before_snapshot()
+            return self.store.save(target)
+
+        run_with_retry(
+            attempt,
+            self.policy,
+            self.stats,
+            sleep=self._sleep,
+            what=f"checkpoint covering seq {covered}",
+        )
+        if faults is not None:
+            faults.before_pointer_commit()
+        atomic_write_text(
+            self.directory / POINTER_NAME,
+            json.dumps(
+                {
+                    "format": "repro-runtime",
+                    "version": 1,
+                    "checkpoint": target.name,
+                    "covered_seq": covered,
+                },
+                indent=2,
+            ),
+        )
+        if faults is not None and faults.corrupt_committed_snapshot():
+            self._truncate_snapshot(target)
+            raise SimulatedCrash(
+                f"scripted crash after corrupting snapshot {target.name}"
+            )
+        self.wal.rotate()
+        self._prune(covered)
+        self.stats.checkpoints += 1
+        self._since_checkpoint = 0
+        return target
+
+    @staticmethod
+    def _truncate_snapshot(target: Path) -> None:
+        """Simulated media damage: cut every archive in half."""
+        for archive in sorted(target.glob("*.json.gz")):
+            data = archive.read_bytes()
+            with open(archive, "wb") as handle:
+                handle.write(data[: len(data) // 2])
+
+    def _prune(self, covered: int) -> None:
+        checkpoints = self._checkpoints(self.directory)
+        retained = checkpoints[-RETAINED_CHECKPOINTS:]
+        for _seq, path in checkpoints[:-RETAINED_CHECKPOINTS]:
+            shutil.rmtree(path, ignore_errors=True)
+        if retained:
+            self.wal.prune(retained[0][0])
+
+    @staticmethod
+    def _checkpoints(directory: Path) -> list[tuple[int, Path]]:
+        """``(covered_seq, path)`` of every checkpoint, oldest first."""
+        root = directory / "checkpoints"
+        if not root.is_dir():
+            return []
+        found = []
+        for path in root.iterdir():
+            match = _CKPT_RE.match(path.name)
+            if match and path.is_dir():
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    @staticmethod
+    def _repair_torn_tails(wal: WriteAheadLog) -> None:
+        """Truncate damaged trailing lines so appends never concatenate.
+
+        A torn append leaves a partial, unterminated final line; writing
+        a new record after it would fuse the two into garbage.  Repair
+        rewrites each segment down to its valid prefix (the dropped
+        record was never acknowledged, so nothing is lost).
+        """
+        from repro.runtime.wal import _decode_line
+
+        for _start, path in wal.segments():
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            lines = raw.splitlines(keepends=True)
+            valid_bytes = 0
+            for line in lines:
+                if line.endswith("\n") and _decode_line(line) is not None:
+                    valid_bytes += len(line.encode("utf-8"))
+                else:
+                    break
+            if valid_bytes < len(raw.encode("utf-8")):
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def clock(self, stream: str) -> int:
+        """Current tick of ``stream`` (0 before any update)."""
+        clock = self._clocks.get(stream)
+        if clock is None:
+            raise KeyError(f"unknown stream {stream!r}")
+        return clock
+
+    def describe(self) -> dict[str, Any]:
+        """Operator-facing summary (used by ``repro recover``)."""
+        checkpoints = self._checkpoints(self.directory)
+        return {
+            "directory": str(self.directory),
+            "streams": {
+                name: self._clocks[name] for name in sorted(self._clocks)
+            },
+            "applied_seq": self.applied_seq,
+            "checkpoints": [path.name for _seq, path in checkpoints],
+            "wal_segments": [
+                path.name for _seq, path in self.wal.segments()
+            ],
+            "dead_letters": len(self.dead_letters.entries()),
+            "stats": self.stats.as_dict(),
+        }

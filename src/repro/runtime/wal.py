@@ -1,0 +1,196 @@
+"""Write-ahead log for sketch ingestion.
+
+Layout: a directory of append-only segment files, one line per record::
+
+    wal/
+      segment-000000000001.wal     # records 1..N   (sealed at checkpoint)
+      segment-0000000000N1.wal     # records N+1..  (active)
+
+Segment names carry the sequence number of their first record; a new
+segment starts at every checkpoint (so fully-covered segments can be
+pruned) and at every recovery (so a torn tail is never appended onto).
+
+Each line frames one record with a CRC32 over the JSON body::
+
+    8f1c2a07 {"seq":17,"stream":"urls","item":3,"count":1,"time":17}\n
+
+Torn writes are expected, not exceptional: a crash mid-append leaves a
+partial final line whose CRC cannot match.  Replay therefore *drops* a
+damaged trailing line (the record was never acknowledged, so dropping
+it is correct exactly-once behaviour) but treats damage followed by
+more valid records — or any sequence gap — as real corruption and
+raises :class:`WalCorruption` rather than silently skipping history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from pathlib import Path
+from typing import IO, Any, Iterator
+
+from repro.runtime.faults import FaultPlan, SimulatedCrash
+
+_SEGMENT_RE = re.compile(r"^segment-(\d{12})\.wal$")
+
+
+class WalCorruption(RuntimeError):
+    """The WAL is damaged beyond the benign torn-tail case."""
+
+
+def _encode_line(record: dict[str, Any]) -> str:
+    body = json.dumps(record, separators=(",", ":"), sort_keys=True)
+    return f"{zlib.crc32(body.encode()):08x} {body}\n"
+
+
+def _decode_line(line: str) -> dict[str, Any] | None:
+    """Parse one framed line; ``None`` when damaged (torn/corrupt)."""
+    if len(line) < 10 or line[8] != " ":
+        return None
+    crc_hex, body = line[:8], line[9:].rstrip("\n")
+    try:
+        if int(crc_hex, 16) != zlib.crc32(body.encode()):
+            return None
+        document = json.loads(body)
+    except ValueError:
+        return None
+    if not isinstance(document, dict) or "seq" not in document:
+        return None
+    return document
+
+
+class WriteAheadLog:
+    """Append-only, CRC-framed, segment-rotated record log.
+
+    Parameters
+    ----------
+    directory:
+        The ``wal/`` directory (created if missing).
+    next_seq:
+        Sequence number the next appended record receives.  A fresh
+        runtime starts at 1; recovery resumes at ``applied_seq + 1``.
+    faults:
+        Optional :class:`FaultPlan`; consulted per append for scripted
+        torn writes.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        next_seq: int = 1,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        if next_seq < 1:
+            raise ValueError(f"next_seq must be >= 1, got {next_seq}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.next_seq = next_seq
+        self.faults = faults
+        self._handle: IO[str] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+
+    def _active_handle(self) -> IO[str]:
+        if self._handle is None:
+            path = self.directory / f"segment-{self.next_seq:012d}.wal"
+            self._handle = open(path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Durably append one record; returns its sequence number.
+
+        The record dict must not contain ``seq`` (the log owns it).  The
+        append is acknowledged only after ``fsync``; a scripted torn
+        write flushes a partial line and then simulates a crash.
+        """
+        seq = self.next_seq
+        line = _encode_line({"seq": seq, **record})
+        handle = self._active_handle()
+        if self.faults is not None and self.faults.tear_this_record():
+            handle.write(line[: max(1, len(line) // 2)])
+            handle.flush()
+            os.fsync(handle.fileno())
+            raise SimulatedCrash(f"scripted torn WAL write at seq {seq}")
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.next_seq = seq + 1
+        return seq
+
+    def rotate(self) -> None:
+        """Seal the active segment; the next append opens a new one."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def close(self) -> None:
+        """Close the active segment handle (idempotent)."""
+        self.rotate()
+
+    # ------------------------------------------------------------------ #
+    # Reading / maintenance
+    # ------------------------------------------------------------------ #
+
+    def segments(self) -> list[tuple[int, Path]]:
+        """``(start_seq, path)`` of every segment, in sequence order."""
+        found = []
+        for path in self.directory.iterdir():
+            match = _SEGMENT_RE.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    def prune(self, covered_seq: int) -> list[Path]:
+        """Delete segments whose records are all ``<= covered_seq``.
+
+        A segment is removable when a later segment starts at or before
+        ``covered_seq + 1`` (so no record above the floor lives in it).
+        Returns the deleted paths.
+        """
+        segments = self.segments()
+        removed = []
+        for (start, path), (next_start, _next_path) in zip(
+            segments, segments[1:]
+        ):
+            if start <= covered_seq and next_start <= covered_seq + 1:
+                path.unlink()
+                removed.append(path)
+        return removed
+
+    def replay(self, after_seq: int) -> Iterator[dict[str, Any]]:
+        """Yield records with ``seq > after_seq``, oldest first.
+
+        Verifies CRC framing and sequence contiguity.  A damaged line is
+        tolerated only as the final non-empty line of its segment (a
+        torn tail); anything else raises :class:`WalCorruption`.
+        """
+        expected = after_seq + 1
+        for start, path in self.segments():
+            lines = path.read_text(
+                encoding="utf-8", errors="replace"
+            ).splitlines()
+            while lines and not lines[-1].strip():
+                lines.pop()
+            for index, line in enumerate(lines):
+                record = _decode_line(line)
+                if record is None:
+                    if index == len(lines) - 1:
+                        break  # torn tail: unacknowledged record, drop
+                    raise WalCorruption(
+                        f"{path}: damaged record at line {index + 1} "
+                        "followed by valid records"
+                    )
+                seq = record["seq"]
+                if seq <= after_seq:
+                    continue
+                if seq != expected:
+                    raise WalCorruption(
+                        f"{path}: sequence gap: expected {expected}, "
+                        f"found {seq} at line {index + 1}"
+                    )
+                expected = seq + 1
+                yield record

@@ -12,14 +12,18 @@ directory of sketch archives via :mod:`repro.io`.
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.heavy_hitters import PersistentHeavyHitters
 from repro.core.persistent_ams import PersistentAMS
 from repro.core.persistent_countmin import PersistentCountMin
+from repro.io import SerializationError
 from repro.io import load as load_sketch
 from repro.io import save as save_sketch
+from repro.io.atomic import atomic_write_text, replace_directory
 
 
 @dataclass(frozen=True)
@@ -264,9 +268,29 @@ class SketchStore:
     # ------------------------------------------------------------------ #
 
     def save(self, directory: str | Path) -> Path:
-        """Write the store to ``directory`` (created if missing)."""
+        """Write the store to ``directory`` (created if missing).
+
+        The save is atomic at directory granularity: every archive and
+        the manifest are first written into a sibling temp directory,
+        fsynced, and only then swapped into place — a crash mid-save
+        leaves either the previous complete store or the new complete
+        store on disk, never a half-written mix.
+        """
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
+        directory.parent.mkdir(parents=True, exist_ok=True)
+        staging = directory.with_name(f".{directory.name}.saving.{os.getpid()}")
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        try:
+            self._write_contents(staging)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        replace_directory(staging, directory)
+        return directory
+
+    def _write_contents(self, directory: Path) -> None:
         manifest = {
             "format": "repro-store",
             "version": 1,
@@ -293,16 +317,33 @@ class SketchStore:
                     state.join_sketch, directory / f"{name}.join.json.gz"
                 )
             manifest["streams"].append(entry)
-        (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
-        return directory
+        atomic_write_text(
+            directory / "manifest.json", json.dumps(manifest, indent=2)
+        )
 
     @classmethod
     def open(cls, directory: str | Path) -> "SketchStore":
-        """Load a store previously written by :meth:`save`."""
+        """Load a store previously written by :meth:`save`.
+
+        A missing or corrupt manifest raises
+        :class:`~repro.io.SerializationError` (as do damaged archives,
+        via :func:`repro.io.load`), so checkpoint recovery can treat any
+        damaged store directory uniformly and fall back.
+        """
         directory = Path(directory)
-        manifest = json.loads((directory / "manifest.json").read_text())
-        if manifest.get("format") != "repro-store":
-            raise ValueError(f"{directory} is not a sketch store")
+        manifest_path = directory / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise SerializationError(
+                f"{manifest_path}: unreadable store manifest: {exc}"
+            ) from exc
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise SerializationError(
+                f"{manifest_path}: corrupt store manifest: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != "repro-store":
+            raise SerializationError(f"{directory} is not a sketch store")
         store = cls(
             width=manifest["width"],
             depth=manifest["depth"],

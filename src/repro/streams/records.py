@@ -1,0 +1,118 @@
+"""Raw ingest records: the ragged outside world, before the clean model.
+
+:class:`~repro.streams.model.Stream` is the paper's idealized input —
+materialized, strictly increasing timestamps, integer items.  Real
+collectors deliver something messier: one JSON-ish record at a time,
+possibly missing fields, mistyped, duplicated or out of order.  This
+module defines the boundary type :class:`IngestRecord` plus parsing that
+*classifies* failures (:class:`RecordError`), so the ingestion runtime's
+policies (:mod:`repro.runtime.policies`) can decide whether a malformed
+record raises, is skipped, or is quarantined to a dead-letter file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.streams.model import Stream
+
+
+class RecordError(ValueError):
+    """A raw record could not be parsed into an :class:`IngestRecord`."""
+
+
+@dataclass(frozen=True, slots=True)
+class IngestRecord:
+    """One validated update destined for a named stream.
+
+    ``time`` may be ``None`` (auto-tick: the runtime assigns the next
+    tick of the target stream); once written to the write-ahead log the
+    time is always resolved, so replay is deterministic.
+    """
+
+    stream: str
+    item: int
+    count: int = 1
+    time: int | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        """Plain-dict form used by the WAL and dead-letter files."""
+        return {
+            "stream": self.stream,
+            "item": self.item,
+            "count": self.count,
+            "time": self.time,
+        }
+
+
+def _require_int(raw: dict[str, Any], key: str, default: int | None = None) -> int:
+    value = raw.get(key, default)
+    if value is None and default is None:
+        raise RecordError(f"record missing required field {key!r}")
+    # bool is an int subclass; a True item id is a malformed record.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RecordError(
+            f"record field {key!r} must be an integer, got {value!r}"
+        )
+    return value
+
+
+def parse_record(raw: object) -> IngestRecord:
+    """Validate one raw record (a mapping) into an :class:`IngestRecord`.
+
+    Raises :class:`RecordError` on any shape problem: not a mapping,
+    missing/mistyped fields, empty stream name, negative item, zero
+    count.  Timestamp *ordering* is not checked here — lateness is a
+    per-stream property the runtime judges against its clocks.
+    """
+    if not isinstance(raw, dict):
+        raise RecordError(f"record must be a mapping, got {type(raw).__name__}")
+    stream = raw.get("stream")
+    if not isinstance(stream, str) or not stream or "/" in stream:
+        raise RecordError(f"record field 'stream' invalid: {stream!r}")
+    item = _require_int(raw, "item")
+    if item < 0:
+        raise RecordError(f"record field 'item' must be >= 0, got {item}")
+    count = _require_int(raw, "count", default=1)
+    if count == 0:
+        raise RecordError("record field 'count' must be non-zero")
+    time: int | None
+    if raw.get("time") is None:
+        time = None
+    else:
+        time = _require_int(raw, "time")
+        if time < 1:
+            raise RecordError(f"record field 'time' must be >= 1, got {time}")
+    unknown = set(raw) - {"stream", "item", "count", "time"}
+    if unknown:
+        raise RecordError(f"record has unknown fields: {sorted(unknown)}")
+    return IngestRecord(stream=stream, item=item, count=count, time=time)
+
+
+def records_from_stream(name: str, stream: Stream) -> Iterator[IngestRecord]:
+    """Adapt a materialized :class:`Stream` into per-record form."""
+    for update in stream:
+        yield IngestRecord(
+            stream=name, item=update.item, count=update.count, time=update.time
+        )
+
+
+def read_jsonl_records(path: str | Path) -> Iterator[tuple[int, object]]:
+    """Yield ``(line_number, raw)`` pairs from a JSON-lines record file.
+
+    Unparsable lines yield a :class:`RecordError` *instance* as ``raw``
+    (instead of raising), so the caller's malformed-record policy applies
+    uniformly to bad JSON and bad shapes.
+    """
+    with open(path, encoding="utf-8", errors="replace") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield lineno, json.loads(line)
+            except json.JSONDecodeError as exc:
+                yield lineno, RecordError(f"line {lineno}: invalid JSON: {exc}")

@@ -119,3 +119,130 @@ class TestPipeline:
         )
         with pytest.raises(SystemExit):
             cli.main(["query", str(archive), "point"])
+
+
+class TestIngestRecover:
+    def _write_records(self, path, lines):
+        import json
+
+        with open(path, "w") as handle:
+            for line in lines:
+                handle.write(
+                    line if isinstance(line, str) else json.dumps(line)
+                )
+                handle.write("\n")
+
+    def test_ingest_fresh_then_resume(self, tmp_path, capsys):
+        records = tmp_path / "batch1.jsonl"
+        self._write_records(
+            records,
+            [{"stream": "urls", "item": i % 9} for i in range(40)],
+        )
+        rc = cli.main(
+            [
+                "ingest", str(tmp_path / "rt"), str(records),
+                "--create-stream", "urls:8:64",
+                "--checkpoint-every", "10",
+                "--width", "64", "--depth", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ingested: 40" in out
+
+        more = tmp_path / "batch2.jsonl"
+        self._write_records(
+            more, [{"stream": "urls", "item": 3} for _ in range(5)]
+        )
+        rc = cli.main(
+            [
+                "ingest", str(tmp_path / "rt"), str(more),
+                "--resume", "--checkpoint-every", "10",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resumed at seq 40" in out
+        assert "ingested: 5" in out
+
+    def test_ingest_quarantines_garbage(self, tmp_path, capsys):
+        records = tmp_path / "dirty.jsonl"
+        self._write_records(
+            records,
+            [
+                {"stream": "urls", "item": 1, "time": 5},
+                "{not json at all",
+                {"stream": "urls", "item": "mistyped"},
+                {"stream": "urls", "item": 2, "time": 5},  # duplicate tick
+                {"stream": "urls", "item": 3, "time": 9},
+            ],
+        )
+        rc = cli.main(
+            [
+                "ingest", str(tmp_path / "rt"), str(records),
+                "--create-stream", "urls:8",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ingested: 2" in out
+        assert "malformed: 2" in out
+        assert "late: 1" in out
+        assert "quarantined: 3" in out
+        dead = (tmp_path / "rt" / "deadletter.jsonl").read_text()
+        assert dead.count("\n") == 3
+
+    def test_ingest_fresh_requires_stream_spec(self, tmp_path):
+        records = tmp_path / "r.jsonl"
+        records.write_text("")
+        with pytest.raises(SystemExit):
+            cli.main(["ingest", str(tmp_path / "rt"), str(records)])
+
+    def test_bad_stream_spec_rejected(self, tmp_path):
+        records = tmp_path / "r.jsonl"
+        records.write_text("")
+        with pytest.raises(SystemExit):
+            cli.main(
+                [
+                    "ingest", str(tmp_path / "rt"), str(records),
+                    "--create-stream", "just-a-name",
+                ]
+            )
+
+    def test_recover_reports_and_exports(self, tmp_path, capsys):
+        import json
+
+        records = tmp_path / "r.jsonl"
+        self._write_records(
+            records, [{"stream": "urls", "item": 7} for _ in range(12)]
+        )
+        assert (
+            cli.main(
+                [
+                    "ingest", str(tmp_path / "rt"), str(records),
+                    "--create-stream", "urls:8",
+                    "--width", "64", "--depth", "3",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        rc = cli.main(
+            ["recover", str(tmp_path / "rt"),
+             "--export", str(tmp_path / "exported")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exported recovered store" in out
+        summary = json.loads(out[out.index("{"):])
+        assert summary["applied_seq"] == 12
+        assert summary["streams"] == {"urls": 12}
+        from repro.store import SketchStore
+
+        store = SketchStore.open(tmp_path / "exported")
+        assert store.point("urls", 7) == 12.0
+
+    def test_recover_empty_directory_fails(self, tmp_path, capsys):
+        rc = cli.main(["recover", str(tmp_path / "void")])
+        assert rc == 1
+        assert "recovery failed" in capsys.readouterr().err

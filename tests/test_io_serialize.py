@@ -130,3 +130,77 @@ class TestErrors:
             from_dict(
                 {"format": "repro-sketch", "version": 1, "type": "Quantile"}
             )
+
+
+class TestCorruptFiles:
+    """load() wraps low-level decode failures in SerializationError,
+    always naming the offending path."""
+
+    def _saved(self, tmp_path):
+        sketch = PersistentCountMin(width=64, depth=3, delta=4, seed=1)
+        for t in range(1, 50):
+            sketch.update(t % 7, time=t)
+        return save(sketch, tmp_path / "sketch.json")
+
+    def test_truncated_gzip(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SerializationError) as excinfo:
+            load(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_not_gzip_at_all(self, tmp_path):
+        path = tmp_path / "sketch.json.gz"
+        path.write_bytes(b"this was never a gzip archive")
+        with pytest.raises(SerializationError) as excinfo:
+            load(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_bad_json_inside_archive(self, tmp_path):
+        import gzip as _gzip
+
+        path = tmp_path / "sketch.json.gz"
+        with _gzip.open(path, "wb") as handle:
+            handle.write(b'{"format": "repro-sketch", truncated')
+        with pytest.raises(SerializationError) as excinfo:
+            load(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_bad_utf8_inside_archive(self, tmp_path):
+        import gzip as _gzip
+
+        path = tmp_path / "sketch.json.gz"
+        with _gzip.open(path, "wb") as handle:
+            handle.write(b"\xff\xfe\x00garbage")
+        with pytest.raises(SerializationError) as excinfo:
+            load(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_non_object_document(self, tmp_path):
+        import gzip as _gzip
+
+        path = tmp_path / "sketch.json.gz"
+        with _gzip.open(path, "wb") as handle:
+            handle.write(b"[1, 2, 3]")
+        with pytest.raises(SerializationError):
+            load(path)
+
+    def test_save_is_atomic_on_crash(self, tmp_path, monkeypatch):
+        """A crash mid-save must leave the previous archive intact."""
+        import os as _os
+
+        path = self._saved(tmp_path)
+        good = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(_os, "replace", exploding_replace)
+        sketch = PersistentCountMin(width=64, depth=3, delta=4, seed=9)
+        sketch.update(1, time=1)
+        with pytest.raises(OSError):
+            save(sketch, tmp_path / "sketch.json")
+        monkeypatch.undo()
+        assert path.read_bytes() == good
+        assert load(path) is not None

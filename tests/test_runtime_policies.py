@@ -1,0 +1,204 @@
+"""Tests for ingest policies: malformed/late handling, dead letters, retry."""
+
+import pytest
+
+from repro.runtime import (
+    FaultPlan,
+    IngestPolicy,
+    IngestRuntime,
+    LateRecordError,
+    MalformedRecordError,
+    SnapshotRetryError,
+)
+from repro.runtime.policies import DeadLetterFile, IngestStats, run_with_retry
+from repro.store import SketchStore, StreamSpec
+from repro.streams.records import IngestRecord, RecordError, parse_record
+
+
+def make_store():
+    store = SketchStore(width=64, depth=3, join_width=64, seed=3)
+    store.create(StreamSpec(name="urls", delta=4))
+    return store
+
+
+def make_runtime(tmp_path, **kwargs):
+    kwargs.setdefault("checkpoint_every", 1000)
+    return IngestRuntime.create(tmp_path / "rt", make_store(), **kwargs)
+
+
+class TestParseRecord:
+    def test_valid(self):
+        record = parse_record({"stream": "urls", "item": 3})
+        assert record == IngestRecord(stream="urls", item=3, count=1, time=None)
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "not a dict",
+            {},
+            {"stream": "", "item": 1},
+            {"stream": "a/b", "item": 1},
+            {"stream": "s"},
+            {"stream": "s", "item": "three"},
+            {"stream": "s", "item": True},
+            {"stream": "s", "item": -1},
+            {"stream": "s", "item": 1, "count": 0},
+            {"stream": "s", "item": 1, "time": 0},
+            {"stream": "s", "item": 1, "time": 1.5},
+            {"stream": "s", "item": 1, "bogus": 2},
+        ],
+    )
+    def test_malformed(self, raw):
+        with pytest.raises(RecordError):
+            parse_record(raw)
+
+
+class TestPolicyValidation:
+    def test_bad_actions_rejected(self):
+        with pytest.raises(ValueError):
+            IngestPolicy(on_malformed="explode")
+        with pytest.raises(ValueError):
+            IngestPolicy(on_late="ignore")
+        with pytest.raises(ValueError):
+            IngestPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            IngestPolicy(backoff_factor=0.5)
+
+
+class TestMalformed:
+    def test_raise(self, tmp_path):
+        runtime = make_runtime(tmp_path)
+        with pytest.raises(MalformedRecordError):
+            runtime.ingest({"stream": "urls", "item": "zzz"})
+        assert runtime.stats.malformed == 1
+
+    def test_skip(self, tmp_path):
+        runtime = make_runtime(
+            tmp_path, policy=IngestPolicy(on_malformed="skip")
+        )
+        assert runtime.ingest({"stream": "urls", "item": "zzz"}) is False
+        assert runtime.stats.malformed == 1
+        assert runtime.stats.quarantined == 0
+        assert runtime.dead_letters.entries() == []
+
+    def test_quarantine(self, tmp_path):
+        runtime = make_runtime(
+            tmp_path, policy=IngestPolicy(on_malformed="quarantine")
+        )
+        assert runtime.ingest({"stream": "urls", "item": "zzz"}) is False
+        (entry,) = runtime.dead_letters.entries()
+        assert entry["kind"] == "malformed"
+        assert entry["record"] == {"stream": "urls", "item": "zzz"}
+        assert runtime.stats.quarantined == 1
+
+    def test_unknown_stream_is_malformed(self, tmp_path):
+        runtime = make_runtime(
+            tmp_path, policy=IngestPolicy(on_malformed="quarantine")
+        )
+        assert runtime.ingest({"stream": "nope", "item": 1}) is False
+        (entry,) = runtime.dead_letters.entries()
+        assert "unknown stream" in entry["reason"]
+
+    def test_record_error_instance_goes_through_policy(self, tmp_path):
+        """read_jsonl_records yields RecordError for bad JSON lines."""
+        runtime = make_runtime(
+            tmp_path, policy=IngestPolicy(on_malformed="skip")
+        )
+        assert runtime.ingest(RecordError("line 3: invalid JSON")) is False
+        assert runtime.stats.malformed == 1
+
+
+class TestLate:
+    def test_duplicate_timestamp_is_late(self, tmp_path):
+        runtime = make_runtime(tmp_path)
+        runtime.ingest({"stream": "urls", "item": 1, "time": 5})
+        with pytest.raises(LateRecordError):
+            runtime.ingest({"stream": "urls", "item": 2, "time": 5})
+        with pytest.raises(LateRecordError):
+            runtime.ingest({"stream": "urls", "item": 2, "time": 4})
+        assert runtime.stats.late == 2
+
+    def test_skip_keeps_clock(self, tmp_path):
+        runtime = make_runtime(tmp_path, policy=IngestPolicy(on_late="skip"))
+        runtime.ingest({"stream": "urls", "item": 1, "time": 5})
+        assert runtime.ingest({"stream": "urls", "item": 2, "time": 3}) is False
+        assert runtime.clock("urls") == 5
+        # The store never saw the late record.
+        assert runtime.store.point("urls", 2) == 0.0
+
+    def test_quarantine_records_reason(self, tmp_path):
+        runtime = make_runtime(
+            tmp_path, policy=IngestPolicy(on_late="quarantine")
+        )
+        runtime.ingest({"stream": "urls", "item": 1, "time": 5})
+        runtime.ingest({"stream": "urls", "item": 2, "time": 5})
+        (entry,) = runtime.dead_letters.entries()
+        assert entry["kind"] == "late"
+        assert "clock is at 5" in entry["reason"]
+
+    def test_auto_time_never_late(self, tmp_path):
+        runtime = make_runtime(tmp_path)
+        runtime.ingest({"stream": "urls", "item": 1, "time": 5})
+        assert runtime.ingest({"stream": "urls", "item": 1}) is True
+        assert runtime.clock("urls") == 6
+
+
+class TestRetry:
+    def test_transient_io_error_retried_with_backoff(self, tmp_path):
+        sleeps = []
+        plan = FaultPlan(io_error_at_checkpoint=1, io_error_count=2)
+        runtime = make_runtime(
+            tmp_path,
+            policy=IngestPolicy(max_retries=3, backoff_base=0.05),
+            faults=plan,
+            sleep=sleeps.append,
+        )
+        runtime.ingest({"stream": "urls", "item": 1})
+        runtime.checkpoint()
+        assert sleeps == [0.05, 0.1]
+        assert runtime.stats.snapshot_retries == 2
+        # Bootstrap checkpoint (at create) + the explicit one above.
+        assert runtime.stats.checkpoints == 2
+
+    def test_budget_exhaustion_raises(self, tmp_path):
+        plan = FaultPlan(io_error_at_checkpoint=1, io_error_count=10)
+        runtime = make_runtime(
+            tmp_path,
+            policy=IngestPolicy(max_retries=2),
+            faults=plan,
+            sleep=lambda _t: None,
+        )
+        runtime.ingest({"stream": "urls", "item": 1})
+        with pytest.raises(SnapshotRetryError):
+            runtime.checkpoint()
+        # The record is still durable in the WAL: recovery replays it.
+        recovered = IngestRuntime.recover(tmp_path / "rt")
+        assert recovered.stats.replayed == 1
+        assert recovered.clock("urls") == 1
+
+    def test_run_with_retry_returns_value(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("flaky disk")
+            return "ok"
+
+        stats = IngestStats()
+        result = run_with_retry(
+            flaky, IngestPolicy(max_retries=5), stats, sleep=lambda _t: None
+        )
+        assert result == "ok"
+        assert stats.snapshot_retries == 2
+
+
+class TestDeadLetterFile:
+    def test_unserializable_record_stringified(self, tmp_path):
+        letters = DeadLetterFile(tmp_path / "dead.jsonl")
+        letters.append("malformed", "why", {1, 2})
+        (entry,) = letters.entries()
+        assert "1" in entry["record"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert DeadLetterFile(tmp_path / "nope.jsonl").entries() == []

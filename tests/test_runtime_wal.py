@@ -1,0 +1,119 @@
+"""Tests for the write-ahead log: framing, torn tails, rotation, pruning."""
+
+import pytest
+
+from repro.runtime.faults import FaultPlan, SimulatedCrash
+from repro.runtime.wal import WalCorruption, WriteAheadLog, _decode_line, _encode_line
+
+
+def _record(seq_less=None, stream="s", item=1, count=1, time=1):
+    return {"stream": stream, "item": item, "count": count, "time": time}
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        record = {"seq": 7, "stream": "urls", "item": 3, "count": 1, "time": 9}
+        assert _decode_line(_encode_line(record)) == record
+
+    def test_bad_crc_rejected(self):
+        line = _encode_line({"seq": 1, "item": 2})
+        tampered = line.replace('"item":2', '"item":3')
+        assert _decode_line(tampered) is None
+
+    def test_truncated_line_rejected(self):
+        line = _encode_line({"seq": 1, "item": 2})
+        assert _decode_line(line[: len(line) // 2]) is None
+        assert _decode_line("") is None
+        assert _decode_line("garbage") is None
+
+
+class TestAppendReplay:
+    def test_append_assigns_contiguous_seqs(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        seqs = [wal.append(_record(time=t)) for t in range(1, 6)]
+        assert seqs == [1, 2, 3, 4, 5]
+        replayed = list(wal.replay(0))
+        assert [r["seq"] for r in replayed] == seqs
+        assert replayed[0]["stream"] == "s"
+
+    def test_replay_after_floor(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for t in range(1, 11):
+            wal.append(_record(time=t))
+        assert [r["seq"] for r in wal.replay(7)] == [8, 9, 10]
+
+    def test_torn_tail_dropped(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for t in range(1, 4):
+            wal.append(_record(time=t))
+        wal.close()
+        segment = wal.segments()[0][1]
+        with open(segment, "a") as handle:
+            handle.write('deadbeef {"seq":4,"stream":"s","it')  # torn
+        assert [r["seq"] for r in WriteAheadLog(tmp_path).replay(0)] == [1, 2, 3]
+
+    def test_damage_mid_segment_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for t in range(1, 4):
+            wal.append(_record(time=t))
+        wal.close()
+        segment = wal.segments()[0][1]
+        lines = segment.read_text().splitlines(keepends=True)
+        lines[1] = "corrupted line\n"
+        with open(segment, "w") as handle:
+            handle.writelines(lines)
+        with pytest.raises(WalCorruption):
+            list(WriteAheadLog(tmp_path).replay(0))
+
+    def test_sequence_gap_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(_record(time=1))
+        wal.close()
+        wal2 = WriteAheadLog(tmp_path, next_seq=5)
+        wal2.append(_record(time=2))
+        with pytest.raises(WalCorruption):
+            list(WriteAheadLog(tmp_path).replay(0))
+
+    def test_scripted_torn_write_crashes_after_partial_line(self, tmp_path):
+        plan = FaultPlan(torn_write_at_record=2)
+        wal = WriteAheadLog(tmp_path, faults=plan)
+        plan.next_record()
+        wal.append(_record(time=1))
+        plan.next_record()
+        with pytest.raises(SimulatedCrash):
+            wal.append(_record(time=2))
+        # The torn tail is dropped; record 1 survives.
+        assert [r["seq"] for r in WriteAheadLog(tmp_path).replay(0)] == [1]
+
+
+class TestRotationPruning:
+    def test_rotate_starts_new_segment(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(_record(time=1))
+        wal.rotate()
+        wal.append(_record(time=2))
+        starts = [start for start, _path in wal.segments()]
+        assert starts == [1, 2]
+        assert [r["seq"] for r in wal.replay(0)] == [1, 2]
+
+    def test_prune_keeps_uncovered_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for t in range(1, 4):
+            wal.append(_record(time=t))
+        wal.rotate()
+        for t in range(4, 7):
+            wal.append(_record(time=t))
+        wal.rotate()
+        wal.append(_record(time=7))
+        # Everything through seq 6 is covered by a checkpoint.
+        removed = wal.prune(6)
+        assert len(removed) == 2
+        assert [start for start, _path in wal.segments()] == [7]
+        assert [r["seq"] for r in wal.replay(6)] == [7]
+
+    def test_prune_never_removes_active_tail(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for t in range(1, 4):
+            wal.append(_record(time=t))
+        assert wal.prune(3) == []
+        assert [r["seq"] for r in wal.replay(0)] == [1, 2, 3]

@@ -240,6 +240,41 @@ def test_sl008_passes_guarded_or_contracted_feed():
 
 
 # --------------------------------------------------------------------- #
+# SL009 — non-atomic writes in durability-critical packages
+# --------------------------------------------------------------------- #
+
+
+def test_sl009_flags_direct_writes_in_durable_scopes():
+    source = 'path.write_text("data")\n'
+    for scope in ("store", "io", "runtime"):
+        assert "SL009" in codes(source, path=f"src/repro/{scope}/module.py")
+    assert "SL009" in codes(
+        'path.write_bytes(b"data")\n', path="src/repro/store/store.py"
+    )
+
+
+def test_sl009_ignores_other_packages_and_tests():
+    source = 'path.write_text("data")\n'
+    assert "SL009" not in codes(source, path="src/repro/core/module.py")
+    assert "SL009" not in codes(source, path="tests/test_store.py")
+
+
+def test_sl009_suppression():
+    source = (
+        'path.write_text("x")  # sketchlint: disable=SL009 — staging file\n'
+    )
+    assert "SL009" not in codes(source, path="src/repro/io/module.py")
+
+
+def test_sl009_passes_atomic_helpers():
+    source = """
+        from repro.io.atomic import atomic_write_text
+        atomic_write_text(path, "data")
+    """
+    assert "SL009" not in codes(source, path="src/repro/runtime/module.py")
+
+
+# --------------------------------------------------------------------- #
 # Engine behaviour
 # --------------------------------------------------------------------- #
 
@@ -292,7 +327,7 @@ def test_run_lint_text_and_json(tmp_path):
 
 
 def test_rule_table_is_complete():
-    assert sorted(RULES) == [f"SL00{i}" for i in range(1, 9)]
+    assert sorted(RULES) == [f"SL00{i}" for i in range(1, 10)]
     for cls in RULES.values():
         assert cls.summary and cls.rationale
 

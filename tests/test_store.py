@@ -154,3 +154,67 @@ class TestDurability:
         assert reopened.point("urls", 3, 3000, 3001) == pytest.approx(
             1, abs=17
         )
+
+
+class TestAtomicSave:
+    """save() stages into a temp directory and swaps it in atomically."""
+
+    def _small_store(self):
+        store = SketchStore(width=64, depth=2, join_width=64, seed=3)
+        store.create(StreamSpec(name="s", delta=4))
+        for t in range(1, 101):
+            store.update("s", t % 9, time=t)
+        return store
+
+    def test_crash_mid_save_leaves_previous_store_intact(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.io.atomic as atomic
+
+        store = self._small_store()
+        directory = store.save(tmp_path / "store")
+        before = SketchStore.open(directory).point("s", 4)
+
+        def exploding_swap(tmp_dir, final_dir):
+            raise OSError("simulated crash during directory swap")
+
+        monkeypatch.setattr(
+            "repro.store.store.replace_directory", exploding_swap
+        )
+        store.update("s", 4, time=101)
+        with pytest.raises(OSError):
+            store.save(directory)
+        monkeypatch.undo()
+        reopened = SketchStore.open(directory)
+        assert reopened.point("s", 4) == before
+
+    def test_overwrite_save_replaces_cleanly(self, tmp_path):
+        store = self._small_store()
+        directory = store.save(tmp_path / "store")
+        store.update("s", 4, time=101)
+        store.save(directory)
+        reopened = SketchStore.open(directory)
+        assert reopened.point("s", 4) == store.point("s", 4)
+        # No staging/backup residue next to the store.
+        leftovers = [
+            p.name
+            for p in tmp_path.iterdir()
+            if p.name not in ("store",)
+        ]
+        assert leftovers == []
+
+    def test_open_wraps_corrupt_manifest(self, tmp_path):
+        from repro.io import SerializationError
+
+        store = self._small_store()
+        directory = store.save(tmp_path / "store")
+        (directory / "manifest.json").write_text("{not json")
+        with pytest.raises(SerializationError) as excinfo:
+            SketchStore.open(directory)
+        assert "manifest" in str(excinfo.value)
+
+    def test_open_wraps_unreadable_manifest(self, tmp_path):
+        from repro.io import SerializationError
+
+        with pytest.raises(SerializationError):
+            SketchStore.open(tmp_path / "never-existed")

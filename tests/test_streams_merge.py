@@ -87,3 +87,59 @@ class TestEndToEnd:
         assert sketch.point(7, s_tick, t_tick) == pytest.approx(
             actual, abs=12
         )
+
+
+class TestRaggedSources:
+    """Robustness: out-of-order and duplicate-heavy collector inputs."""
+
+    def test_out_of_order_across_sources(self):
+        """Collectors may be mutually unsorted; the merge fixes it."""
+        late_collector = (np.array([100, 200, 300]), np.array([1, 1, 1]))
+        early_collector = (np.array([5, 150, 250]), np.array([2, 2, 2]))
+        stream, mapping = merge_sources([late_collector, early_collector])
+        assert list(mapping.wall_times) == [5, 100, 150, 200, 250, 300]
+        assert list(stream.items) == [2, 1, 2, 1, 2, 1]
+        # The merged tick axis is strictly increasing — safe to sketch.
+        assert list(stream.times) == [1, 2, 3, 4, 5, 6]
+
+    def test_duplicate_timestamps_within_and_across_sources(self):
+        source_a = (np.array([10, 10, 20]), np.array([1, 2, 3]))
+        source_b = (np.array([10, 20, 20]), np.array([4, 5, 6]))
+        stream, mapping = merge_sources([source_a, source_b])
+        # Every tied event keeps its own tick; axis stays strict.
+        assert len(stream) == 6
+        assert list(stream.times) == [1, 2, 3, 4, 5, 6]
+        assert all(
+            t2 > t1 for t1, t2 in zip(stream.times, stream.times[1:])
+        )
+        # Stable: a's ties precede b's at the same wall time.
+        assert list(stream.items) == [1, 2, 4, 3, 5, 6]
+
+    def test_merged_axis_strictly_increasing_property(self):
+        rng = np.random.default_rng(42)
+        sources = []
+        for _ in range(5):
+            n = int(rng.integers(1, 40))
+            # Coarse wall clock → plenty of collisions.
+            walls = np.sort(rng.integers(0, 20, size=n))
+            sources.append((walls, rng.integers(0, 100, size=n)))
+        stream, mapping = merge_sources(sources)
+        total = sum(len(walls) for walls, _items in sources)
+        assert len(stream) == total
+        assert list(stream.times) == list(range(1, total + 1))
+        assert (np.diff(mapping.wall_times) >= 0).all()
+
+    def test_tick_mapping_round_trip(self):
+        source_a = (np.array([10, 10, 30]), np.array([1, 1, 1]))
+        source_b = (np.array([20, 30]), np.array([2, 2]))
+        _stream, mapping = merge_sources([source_a, source_b])
+        # wall -> tick -> wall lands back on the same wall time for
+        # every event; tick -> wall -> tick lands on the last tick of
+        # that wall time (duplicates collapse forward, never backward).
+        for tick in range(1, len(mapping.wall_times) + 1):
+            wall = mapping.wall_for(tick)
+            back = mapping.tick_for(wall)
+            assert back >= tick
+            assert mapping.wall_for(back) == wall
+        for wall in [10, 20, 30]:
+            assert mapping.wall_for(mapping.tick_for(wall)) == wall
