@@ -9,6 +9,8 @@ hashed variant's at equal Delta, at comparable or smaller size (one row
 instead of d).
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval import harness

@@ -8,6 +8,8 @@ segments, and on drifting real-trace-like counters it emits materially
 fewer — the space advantage the paper's Figure 3 banks on.
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval import harness

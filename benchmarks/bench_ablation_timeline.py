@@ -9,6 +9,8 @@ Expected shape: identical answers (asserted), with the cascading path's
 advantage growing as the history lists get longer (small Delta).
 """
 
+from __future__ import annotations
+
 import time
 
 from conftest import run_once

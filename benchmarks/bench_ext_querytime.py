@@ -8,6 +8,8 @@ logarithmically in m (binary searches over per-counter histories), far
 slower than the linear growth of the history itself.
 """
 
+from __future__ import annotations
+
 import time
 
 from conftest import run_once

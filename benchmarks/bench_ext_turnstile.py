@@ -10,6 +10,8 @@ ordering as Figure 3, with PLA space even smaller — deletions slow the
 counters' drift, so single lines survive longer.
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.core.persistent_ams import PersistentAMS

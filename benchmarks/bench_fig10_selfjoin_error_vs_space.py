@@ -8,6 +8,8 @@ Sample error is far below the baselines', and Sample's space is exactly
 controllable by Delta (strictly decreasing in the sweep).
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval.experiments import run_fig10

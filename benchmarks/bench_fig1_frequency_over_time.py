@@ -7,6 +7,8 @@ without the raw stream.  Expected shape here: per-checkpoint estimates
 within the Theorem 3.1 bound of truth for every top-5 item.
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval import harness, theory

@@ -9,6 +9,8 @@ baseline (the constant is larger in Python, where per-update overhead
 dominates).
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval.experiments import run_fig2

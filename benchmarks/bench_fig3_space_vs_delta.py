@@ -9,6 +9,8 @@ values; (c) ObjectID sits between.  Expected shapes here: Sample within
 the skewed datasets; every curve non-increasing in Delta.
 """
 
+from __future__ import annotations
+
 import pytest
 from conftest import run_once
 

@@ -8,6 +8,8 @@ Expected shapes here: the same — PLA's mean error at most the baselines'
 on skewed data, and every curve bounded by the Theorem 3.1 guarantee.
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval import harness, theory

@@ -7,6 +7,8 @@ shape here: at every Delta, PLA's (space, error) point Pareto-dominates
 PWC_CountMin's on the skewed datasets.
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval.experiments import run_fig5

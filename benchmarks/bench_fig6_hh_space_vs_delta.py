@@ -6,6 +6,8 @@ on the skewed datasets, both shrinking with Delta.  Expected shape here:
 the same dominance and monotonicity.
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval.experiments import run_fig6

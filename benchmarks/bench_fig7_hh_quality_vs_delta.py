@@ -8,6 +8,8 @@ across the sweep and beats PWC's at the largest Delta by a wide margin
 on the skewed datasets.
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval.experiments import run_fig7

@@ -7,6 +7,8 @@ winner.  Expected shape here: at the smallest sketch sizes in the sweep,
 PLA's recall exceeds PWC's on the skewed datasets.
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval.experiments import run_fig8

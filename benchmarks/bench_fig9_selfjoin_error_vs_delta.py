@@ -9,6 +9,8 @@ Sample must beat both baselines on ClientID at small Delta, and stay
 within its theory bound everywhere.
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval.experiments import run_fig9

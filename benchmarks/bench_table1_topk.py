@@ -7,6 +7,8 @@ estimate is an overestimate (cash-register Count-Min) within a small
 fraction of the true count.
 """
 
+from __future__ import annotations
+
 from conftest import run_once
 
 from repro.eval.experiments import run_table1

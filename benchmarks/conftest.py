@@ -10,6 +10,8 @@ Set ``REPRO_BENCH_SCALE`` to scale the workloads (e.g. ``0.25`` for a
 quick pass, ``4`` for closer-to-paper sizes).
 """
 
+from __future__ import annotations
+
 import pytest
 
 #: The paper's three workloads (Section 6.1).

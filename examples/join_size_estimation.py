@@ -10,6 +10,8 @@ amplified across the row).
 Run:  python examples/join_size_estimation.py
 """
 
+from __future__ import annotations
+
 import math
 
 from repro import GroundTruth, make_ams_pair, window_join_size

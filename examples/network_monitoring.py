@@ -12,6 +12,8 @@ purely relative — no additive term — for queries from time zero.
 Run:  python examples/network_monitoring.py
 """
 
+from __future__ import annotations
+
 import numpy as np
 
 from repro import (

@@ -7,6 +7,8 @@ past moments* (s, t]?" — while staying sublinear in the stream length.
 Run:  python examples/quickstart.py
 """
 
+from __future__ import annotations
+
 from repro import GroundTruth, PersistentCountMin, zipf_stream
 
 

@@ -17,6 +17,8 @@ mass sits and when it moved).
 Run:  python examples/scientific_readings.py
 """
 
+from __future__ import annotations
+
 import numpy as np
 
 from repro import PersistentQuantiles, PersistentWavelets

@@ -15,6 +15,8 @@ sizes, and a sliding-window view replaying past window positions.
 Run:  python examples/sketch_store_tour.py
 """
 
+from __future__ import annotations
+
 import tempfile
 from pathlib import Path
 

@@ -8,6 +8,8 @@ sketch plus the dyadic heavy-hitter structure answer both from memory.
 Run:  python examples/url_trending.py
 """
 
+from __future__ import annotations
+
 from repro import GroundTruth, PersistentCountMin, PersistentHeavyHitters
 from repro.eval.harness import compact_items
 from repro.streams.worldcup import object_id_stream

@@ -220,16 +220,34 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_items(args: argparse.Namespace) -> list[int]:
+    items: list[int] = []
+    if args.item is not None:
+        items.append(args.item)
+    if args.items:
+        items.extend(int(raw) for raw in args.items.split(","))
+    if not items:
+        raise SystemExit("point queries require --item or --items")
+    return items
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.io import load
 
     sketch = load(args.archive)
+    if args.frozen:
+        # Compile once, serve all of this invocation's queries from the
+        # immutable columnar snapshot (bit-equal to the live path).
+        sketch = sketch.freeze()
     t = args.t if args.t is not None else sketch.now
     if args.kind == "point":
-        if args.item is None:
-            raise SystemExit("point queries require --item")
-        value = sketch.point(args.item, args.s, t)
-        print(f"f_{args.item}({args.s}, {t}] ~= {value:.1f}")
+        items = _query_items(args)
+        if args.frozen and len(items) > 1:
+            values = sketch.point_many(items, (args.s, t))
+        else:
+            values = [sketch.point(item, args.s, t) for item in items]
+        for item, value in zip(items, values):
+            print(f"f_{item}({args.s}, {t}] ~= {value:.1f}")
     elif args.kind == "self_join":
         value = sketch.self_join_size(args.s, t)
         print(f"F2({args.s}, {t}] ~= {value:.1f}")
@@ -350,9 +368,21 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("archive")
     query.add_argument("kind", choices=QUERY_KINDS)
     query.add_argument("--item", type=int, default=None)
+    query.add_argument(
+        "--items",
+        default=None,
+        metavar="A,B,C",
+        help="comma-separated items for batched point queries",
+    )
     query.add_argument("--s", type=float, default=0)
     query.add_argument("--t", type=float, default=None)
     query.add_argument("--phi", type=float, default=0.01)
+    query.add_argument(
+        "--frozen",
+        action="store_true",
+        help="compile the archive into a frozen columnar snapshot "
+        "(repro.engine.frozen) and serve the query from it",
+    )
     return parser
 
 

@@ -10,8 +10,17 @@ consecutive ticks starting at 1.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 from repro.streams.model import Stream
+
+if TYPE_CHECKING:  # repro.engine depends on repro.core; import lazily.
+    from repro.engine.frozen import (
+        FrozenAMS,
+        FrozenCountMin,
+        FrozenHeavyHitters,
+        FrozenPWCAMS,
+    )
 
 
 class PersistentSketch(ABC):
@@ -46,8 +55,12 @@ class PersistentSketch(ABC):
                 f"timestamps must be strictly increasing: {time} <= "
                 f"{self._clock}"
             )
-        self._clock = time
+        # Apply before advancing the clock: a rejected update (bad item,
+        # turnstile violation, ...) must not leave the clock pointing at
+        # a time no structure ever recorded, or every later default-
+        # window query would ask the sub-sketches about their future.
         self._ingest(item, count, time)
+        self._clock = time
 
     def ingest(self, stream: Stream) -> None:
         """Ingest a whole :class:`~repro.streams.model.Stream`."""
@@ -70,9 +83,29 @@ class PersistentSketch(ABC):
         excluding the ephemeral counter array.
         """
 
+    def freeze(self) -> FrozenCountMin | FrozenPWCAMS | FrozenAMS | FrozenHeavyHitters:
+        """Compile this sketch into a frozen columnar query snapshot.
+
+        Delegates to :func:`repro.engine.frozen.freeze` (imported lazily:
+        ``repro.engine`` depends on ``repro.core``, not the other way
+        around).  The snapshot answers ``point`` / ``point_many`` /
+        holistic queries bit-equal to the live path; see
+        :mod:`repro.engine.frozen`.
+        """
+        from repro.engine.frozen import freeze
+
+        return freeze(self)
+
     def _resolve_window(self, s: float, t: float | None) -> tuple[float, float]:
         if t is None:
             t = self._clock
+        elif t > self._clock:
+            raise ValueError(
+                f"window end {t} lies beyond the last update at "
+                f"{self._clock}; queries cannot extrapolate past now"
+            )
+        if s < 0:
+            s = 0  # nothing precedes time 0; clamp instead of extrapolating
         if s > t:
             raise ValueError(f"empty window: s={s} > t={t}")
         return s, t

@@ -107,6 +107,18 @@ class PersistentHeavyHitters(PersistentSketch):
         self._mass_total += count
         self._mass.feed(time, self._mass_total)
 
+    def finalize(self) -> None:
+        """Flush open PLA runs in every level sketch and the mass tracker.
+
+        Optional for live queries; required (and done automatically) by
+        ``freeze()`` before exporting columnar history arrays.
+        """
+        for sketch in self._sketches:
+            finalize = getattr(sketch, "finalize", None)
+            if finalize is not None:
+                finalize()
+        self._mass.finalize()
+
     def point(self, item: int, s: float = 0, t: float | None = None) -> float:
         """Point estimate from the level-0 sketch."""
         s, t = self._resolve_window(s, t)

@@ -253,7 +253,9 @@ class PersistentAMS(PersistentSketch):
                 for col, a in a_by_col.items():
                     total += a * b_by_col.get(col, 0.0)
             else:
-                for col in self._touched_columns(row):
+                # Sorted column order: keeps the float accumulation order
+                # deterministic and identical to the frozen query path.
+                for col in sorted(self._touched_columns(row)):
                     a = self._window_counter(row, col, s, t, copy=0)
                     b = self._window_counter(row, col, s, t, copy=1)
                     total += a * b
@@ -293,7 +295,9 @@ class PersistentAMS(PersistentSketch):
                 for col, value in small.items():
                     total += value * large.get(col, 0.0)
             else:
-                cols = self._touched_columns(row) & other._touched_columns(row)
+                cols = sorted(
+                    self._touched_columns(row) & other._touched_columns(row)
+                )
                 for col in cols:
                     a = self._window_counter(row, col, s, t, copy=0)
                     b = other._window_counter(row, col, s, t, copy=0)

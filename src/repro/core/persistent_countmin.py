@@ -140,7 +140,10 @@ class PersistentCountMin(PersistentSketch):
         for row in range(self.depth):
             total = 0.0
             trackers = self._trackers[row]
-            for col, tracker in trackers.items():
+            # Sorted column order: keeps the float accumulation order
+            # deterministic and identical to the frozen query path.
+            for col in sorted(trackers):
+                tracker = trackers[col]
                 diff = tracker.value_at(t) - (
                     tracker.value_at(s) if s > 0 else 0.0
                 )

@@ -83,7 +83,11 @@ class PWCAMS(PersistentSketch):
         row_estimates = []
         for row in range(self.depth):
             total = 0.0
-            for col, tracker in self._trackers[row].items():
+            trackers = self._trackers[row]
+            # Sorted column order: keeps the float accumulation order
+            # deterministic and identical to the frozen query path.
+            for col in sorted(trackers):
+                tracker = trackers[col]
                 diff = tracker.value_at(t) - (
                     tracker.value_at(s) if s > 0 else 0.0
                 )

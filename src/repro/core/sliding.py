@@ -36,7 +36,14 @@ class SlidingWindowView:
 
     def _bounds(self, at: float | None) -> tuple[float, float]:
         t = self.sketch.now if at is None else at
-        return max(0, t - self.window), t
+        s = max(0, t - self.window)
+        # ``at`` is a wall-clock position; the sketch clock only advances
+        # on updates, so the window may end in the quiet stretch past the
+        # last update.  Counters are constant there, so clamping onto the
+        # queryable range answers the same question (and the underlying
+        # sketch rejects ends beyond its clock).
+        t = min(t, self.sketch.now)
+        return min(s, t), t
 
     def point(self, item: int, at: float | None = None) -> float:
         """Frequency of ``item`` in the window ending at ``at`` (default:

@@ -1,4 +1,4 @@
-"""Vectorized bulk-ingest engine.
+"""Vectorized bulk engines: columnwise ingest and frozen query serving.
 
 The per-update path of the persistent sketches is dominated by Python
 interpreter overhead: ``d`` hash evaluations, ``d`` counter increments
@@ -12,10 +12,32 @@ deterministic schemes (asserted in ``tests/test_engine.py``).
     from repro.engine import batch_ingest
     sketch = PersistentCountMin(width=2048, depth=5, delta=25)
     batch_ingest(sketch, stream)      # == sketch.ingest(stream), faster
+
+The read side is :mod:`repro.engine.frozen`: ``freeze(sketch)`` compiles
+a finalized sketch into an immutable columnar snapshot that answers
+``point`` / ``point_many`` / holistic queries bit-equal to the live path
+(asserted in ``tests/test_frozen.py``) via vectorized predecessor search.
 """
 
 from __future__ import annotations
 
 from repro.engine.batch import batch_hash_columns, batch_ingest
+from repro.engine.frozen import (
+    FrozenAMS,
+    FrozenCountMin,
+    FrozenHeavyHitters,
+    FrozenPWCAMS,
+    FrozenShardedSketch,
+    freeze,
+)
 
-__all__ = ["batch_ingest", "batch_hash_columns"]
+__all__ = [
+    "batch_ingest",
+    "batch_hash_columns",
+    "freeze",
+    "FrozenCountMin",
+    "FrozenPWCAMS",
+    "FrozenAMS",
+    "FrozenHeavyHitters",
+    "FrozenShardedSketch",
+]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import contracts
 from repro.core.persistent_ams import PersistentAMS
 from repro.core.persistent_countmin import PersistentCountMin
 from repro.core.pwc_ams import PWCAMS
@@ -58,6 +59,21 @@ def _validate(sketch, stream: Stream) -> None:
             f"stream starts at {int(stream.times[0])} but the sketch "
             f"clock is already at {sketch.now}"
         )
+    # The sequential path enforces strictly increasing timestamps via the
+    # per-update clock check; the batch paths skip those checks (and the
+    # sampled-AMS path records via force_sample, bypassing the
+    # @monotone_timestamps contract entirely), so a mis-ordered feed must
+    # be rejected here, before any per-group copy loop runs.
+    times = np.asarray(stream.times)
+    if len(times) > 1:
+        gaps = np.diff(times)
+        if gaps.min() <= 0:
+            bad = int(np.argmax(gaps <= 0))
+            raise contracts.ContractViolation(
+                f"batch stream timestamps must be strictly increasing: "
+                f"times[{bad + 1}]={int(times[bad + 1])} <= "
+                f"times[{bad}]={int(times[bad])}"
+            )
 
 
 def batch_ingest(sketch, stream: Stream) -> None:

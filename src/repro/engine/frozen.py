@@ -1,0 +1,859 @@
+"""Frozen columnar query engine: read-optimized sketch snapshots.
+
+Live persistent sketches answer every historical query with ``O(w)`` or
+``O(d)`` independent pure-Python ``bisect`` calls — one per counter
+history touched.  The paper's query-time remarks (Sections 3.3/4.2)
+motivate *batched* predecessor search; this module is the serving-side
+realization of that idea, in the snapshot / read-optimized-view shape of
+Rinberg et al.'s concurrent sketches and Hokusai's time-partitioned
+sketch serving: ``freeze(sketch)`` compiles a finalized sketch into
+immutable columnar numpy state, and the frozen object answers ``point``,
+``point_many``, ``self_join_size`` and heavy-hitter queries with a
+handful of vectorized ``np.searchsorted`` / gather / ``np.median``
+operations instead of per-counter Python loops.
+
+Layout
+------
+The segment/record arrays of *all* tracked counters of *all* rows of a
+sketch are concatenated into parallel arrays (``starts``, ``ends``,
+``slopes``, ``values``) with two CSR-style indirections: ``row_offsets``
+maps a sketch row to its span of counter *slots*, and ``offsets`` maps a
+slot to its span of segments.  Predecessor search across every (query,
+row, endpoint) probe of a batch uses rank keys: position ``i`` belonging
+to slot ``k`` is keyed as ``k * span + (starts[i] - base)``, which is
+globally sorted, so a single ``np.searchsorted`` resolves the entire
+batch — ``2 * d * n`` probes — at once.
+
+Equality
+--------
+Frozen answers are **bit-equal** to the live query path (asserted in
+``tests/test_frozen.py``): evaluation replays the exact float operations
+of the live readers, and the live self-join paths accumulate in sorted
+column order precisely so both paths sum in the same order.
+
+Freezing finalizes the live sketch (flushing open PLA runs — a no-op
+for queries, since the emitted segment evaluates identically to the
+open-run bisector) and snapshots it *as of* ``sketch.now``; the live
+sketch may keep ingesting afterwards without affecting the snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import median
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.heavy_hitters import PersistentHeavyHitters
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin
+from repro.core.pwc_ams import PWCAMS
+from repro.engine.batch import _batch_signs, batch_hash_columns
+from repro.store.sharded import ShardedPersistentSketch
+
+#: Rank-key overflow guard: fall back to per-query bisects when
+#: ``n_slots * span`` would not fit comfortably in int64.
+_KEY_LIMIT = 2**62
+
+Window = tuple[float, float]
+
+
+def _resolve_window(s: float, t: float | None, now: int) -> Window:
+    """The window semantics of :meth:`PersistentSketch._resolve_window`."""
+    if t is None:
+        t = now
+    elif t > now:
+        raise ValueError(
+            f"window end {t} lies beyond the snapshot clock {now}; "
+            f"frozen queries cannot extrapolate past freeze time"
+        )
+    if s < 0:
+        s = 0
+    if s > t:
+        raise ValueError(f"empty window: s={s} > t={t}")
+    return s, t
+
+
+def _window_arrays(
+    windows: Window | Sequence[Window] | np.ndarray | None,
+    n: int,
+    now: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validated ``(ss, ts)`` float arrays, one entry per query.
+
+    Vectorized mirror of :func:`_resolve_window`: the same clamp on
+    ``s < 0`` and the same raises on ``t > now`` / ``s > t``, applied to
+    the whole batch at once.
+    """
+    if windows is None:
+        windows = (0.0, float(now))
+    if (
+        isinstance(windows, tuple)
+        and len(windows) == 2
+        and not isinstance(windows[0], tuple)
+    ):
+        s, t = _resolve_window(windows[0], windows[1], now)
+        return np.full(n, float(s)), np.full(n, float(t))
+    pairs = np.asarray(windows, dtype=np.float64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2 or pairs.shape[0] != n:
+        raise ValueError(
+            f"expected {n} (s, t) windows, got shape {pairs.shape}; pass "
+            f"one window per item or a single (s, t) pair"
+        )
+    ss = pairs[:, 0].copy()
+    ts = pairs[:, 1]
+    if (ts > now).any():
+        bad = float(ts[ts > now][0])
+        raise ValueError(
+            f"window end {bad} lies beyond the snapshot clock {now}; "
+            f"frozen queries cannot extrapolate past freeze time"
+        )
+    np.maximum(ss, 0.0, out=ss)
+    if (ss > ts).any():
+        idx = int(np.argmax(ss > ts))
+        raise ValueError(f"empty window: s={ss[idx]} > t={ts[idx]}")
+    return ss, ts
+
+
+class _ColumnTable:
+    """Concatenated histories of every tracked counter of a sketch.
+
+    Two flavors share the layout: *segment* tables (PLA/PWC trackers)
+    evaluate ``values[i] + slopes[i] * (clamp(t) - starts[i])`` at the
+    predecessor position; *history* tables (sampled AMS) evaluate
+    ``values[i] + 1/p - 1`` (Equation (1)'s compensated read).
+
+    Slots are counters; ``row_offsets[r] : row_offsets[r + 1]`` is the
+    slot span of sketch row ``r``, with ``cols`` sorted within each row.
+    """
+
+    __slots__ = (
+        "row_offsets",
+        "cols",
+        "offsets",
+        "starts",
+        "starts_f",
+        "ends_f",
+        "slopes",
+        "values",
+        "initials",
+        "compensation",
+        "_keys",
+        "_base",
+        "_span",
+        "_col_keys",
+        "_col_span",
+    )
+
+    def __init__(
+        self,
+        row_offsets: np.ndarray,
+        cols: np.ndarray,
+        offsets: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray | None,
+        slopes: np.ndarray | None,
+        values: np.ndarray,
+        initials: np.ndarray,
+        compensation: float | None = None,
+    ) -> None:
+        self.row_offsets = row_offsets
+        self.cols = cols
+        self.offsets = offsets
+        self.starts = starts
+        self.starts_f = starts.astype(np.float64)
+        self.ends_f = ends.astype(np.float64) if ends is not None else None
+        self.slopes = slopes
+        self.values = values
+        self.initials = initials
+        self.compensation = compensation
+        # Globally sorted rank keys for one-shot predecessor search.
+        self._base = int(starts.min()) if len(starts) else 0
+        self._span = (
+            (int(starts.max()) - self._base + 2) if len(starts) else 2
+        )
+        n_slots = len(cols)
+        if n_slots and n_slots * self._span < _KEY_LIMIT:
+            slot_of_pos = np.repeat(
+                np.arange(n_slots, dtype=np.int64), np.diff(offsets)
+            )
+            self._keys = slot_of_pos * self._span + (starts - self._base)
+        else:
+            self._keys = None
+        # Row-keyed column ids: globally sorted (rows ascend, cols are
+        # sorted within each row), so one searchsorted locates every
+        # (query, row) probe of a batch at once.
+        self._col_span = int(cols.max()) + 1 if n_slots else 1
+        row_of_slot = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), np.diff(row_offsets)
+        )
+        self._col_keys = row_of_slot * self._col_span + cols
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.row_offsets) - 1
+
+    def row_cols(self, row: int) -> np.ndarray:
+        """Sorted column ids tracked in sketch row ``row``."""
+        return self.cols[self.row_offsets[row] : self.row_offsets[row + 1]]
+
+    def row_slots(self, row: int) -> np.ndarray:
+        """Global slot indices of sketch row ``row``."""
+        return np.arange(
+            self.row_offsets[row],
+            self.row_offsets[row + 1],
+            dtype=np.int64,
+        )
+
+    def locate_row(
+        self, row: int, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(slots, valid)`` for queried columns of one sketch row."""
+        lo = int(self.row_offsets[row])
+        hi = int(self.row_offsets[row + 1])
+        segment = self.cols[lo:hi]
+        pos = np.searchsorted(segment, cols)
+        if hi > lo:
+            clipped = np.minimum(pos, hi - lo - 1)
+            valid = (pos < hi - lo) & (segment[clipped] == cols)
+        else:
+            clipped = pos
+            valid = np.zeros(len(cols), dtype=bool)
+        return clipped + lo, valid
+
+    def locate_rows(
+        self, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-major ``(slots, valid)`` for an ``(n, d)`` column matrix.
+
+        Output length is ``d * n``: row 0's slots for every query, then
+        row 1's, and so on.  The global slot index of a match *is* its
+        position among the row-keyed column ids, so a single
+        searchsorted resolves all ``d * n`` probes.
+        """
+        n, d = cols.shape
+        total = len(self.cols)
+        if total == 0:
+            return (
+                np.zeros(n * d, dtype=np.int64),
+                np.zeros(n * d, dtype=bool),
+            )
+        qkeys = (
+            cols + np.arange(d, dtype=np.int64) * self._col_span
+        ).T.ravel()
+        pos = np.searchsorted(self._col_keys, qkeys)
+        slots = np.minimum(pos, total - 1)
+        valid = (pos < total) & (self._col_keys[slots] == qkeys)
+        return slots, valid
+
+    def _predecessors(self, slots: np.ndarray, ts: np.ndarray) -> np.ndarray:
+        """Global predecessor positions (largest start <= t); -1 if none."""
+        lo = self.offsets[slots]
+        if self._keys is not None:
+            # floor() == int64 truncation here: resolved times are >= 0.
+            rel = np.minimum(
+                ts.astype(np.int64) - self._base, self._span - 1
+            )
+            np.maximum(rel, -1, out=rel)
+            pos = (
+                np.searchsorted(
+                    self._keys, slots * self._span + rel, side="right"
+                )
+                - 1
+            )
+        else:  # rank keys would overflow: per-query bisects
+            hi = self.offsets[slots + 1]
+            starts = self.starts
+            pos = np.empty(len(slots), dtype=np.int64)
+            for i in range(len(slots)):
+                pos[i] = (
+                    int(lo[i])
+                    + np.searchsorted(
+                        starts[int(lo[i]) : int(hi[i])], ts[i], side="right"
+                    )
+                    - 1
+                )
+        return np.where(pos < lo, -1, pos)
+
+    def eval(
+        self, slots: np.ndarray, valid: np.ndarray, ts: np.ndarray
+    ) -> np.ndarray:
+        """Counter values at ``ts``; 0.0 for untracked columns."""
+        if len(self.cols) == 0 or len(slots) == 0:
+            return np.zeros(len(slots), dtype=np.float64)
+        pos = self._predecessors(slots, ts)
+        found = pos >= 0
+        all_found = bool(found.all())
+        idx = pos if all_found else np.where(found, pos, 0)
+        if self.compensation is None:
+            st = self.starts_f[idx]
+            tc = np.minimum(np.maximum(ts, st), self.ends_f[idx])
+            vals = self.values[idx] + self.slopes[idx] * (tc - st)
+        else:
+            vals = (self.values[idx] + self.compensation) - 1.0
+        if not all_found:
+            vals = np.where(found, vals, self.initials[slots])
+        if bool(valid.all()):
+            return vals
+        return np.where(valid, vals, 0.0)
+
+    def window_eval_rows(
+        self,
+        slots: np.ndarray,
+        valid: np.ndarray,
+        ss: np.ndarray,
+        ts: np.ndarray,
+        s_mask: np.ndarray,
+    ) -> np.ndarray:
+        """``value(t) - (value(s) if s > 0 else 0.0)``, shape ``(d, n)``.
+
+        ``slots``/``valid`` are the row-major output of
+        :meth:`locate_rows`; both window endpoints of every (query, row)
+        probe go through a single predecessor search.  The per-probe
+        float operations match the live reader exactly, so answers stay
+        bit-equal.
+        """
+        n = len(ss)
+        d = self.n_rows
+        both = self.eval(
+            np.concatenate((slots, slots)),
+            np.concatenate((valid, valid)),
+            np.concatenate((np.tile(ts, d), np.tile(ss, d))),
+        )
+        high = both[: d * n].reshape(d, n)
+        low = np.where(s_mask, both[d * n :].reshape(d, n), 0.0)
+        return high - low
+
+    def eval_row_all(self, row: int, t: float) -> np.ndarray:
+        """Values of every tracked counter of one row at scalar ``t``."""
+        slots = self.row_slots(row)
+        ts = np.full(len(slots), float(t))
+        return self.eval(slots, np.ones(len(slots), dtype=bool), ts)
+
+
+def _tracker_table(rows: list[dict]) -> _ColumnTable:
+    """Columnar table of PLA/PWC trackers, all sketch rows concatenated."""
+    row_offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    ordered_cols: list[int] = []
+    exports = []
+    initials: list[float] = []
+    for r, trackers in enumerate(rows):
+        ordered = sorted(trackers)
+        row_offsets[r + 1] = row_offsets[r] + len(ordered)
+        ordered_cols.extend(ordered)
+        for col in ordered:
+            exports.append(trackers[col].export_arrays())
+            initials.append(trackers[col].initial_value)
+    offsets = np.zeros(len(exports) + 1, dtype=np.int64)
+    for i, (starts, _e, _sl, _v) in enumerate(exports):
+        offsets[i + 1] = offsets[i] + len(starts)
+    if exports:
+        starts = np.concatenate([e[0] for e in exports])
+        ends = np.concatenate([e[1] for e in exports])
+        slopes = np.concatenate([e[2] for e in exports])
+        values = np.concatenate([e[3] for e in exports])
+    else:
+        starts = np.empty(0, dtype=np.int64)
+        ends = np.empty(0, dtype=np.int64)
+        slopes = np.empty(0, dtype=np.float64)
+        values = np.empty(0, dtype=np.float64)
+    return _ColumnTable(
+        row_offsets,
+        np.array(ordered_cols, dtype=np.int64),
+        offsets,
+        starts,
+        ends,
+        slopes,
+        values,
+        np.array(initials, dtype=np.float64),
+    )
+
+
+def _history_table(rows: list[dict], probability: float) -> _ColumnTable:
+    """Columnar table of sampled histories, all sketch rows concatenated."""
+    row_offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    ordered_cols: list[int] = []
+    arrays = []
+    initials: list[float] = []
+    for r, lists in enumerate(rows):
+        ordered = sorted(lists)
+        row_offsets[r + 1] = row_offsets[r] + len(ordered)
+        ordered_cols.extend(ordered)
+        for col in ordered:
+            arrays.append(lists[col].as_arrays())
+            initials.append(float(lists[col].initial_value))
+    offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
+    for i, (times, _values) in enumerate(arrays):
+        offsets[i + 1] = offsets[i] + len(times)
+    if arrays:
+        starts = np.concatenate([a[0] for a in arrays])
+        values = np.concatenate([a[1] for a in arrays])
+    else:
+        starts = np.empty(0, dtype=np.int64)
+        values = np.empty(0, dtype=np.float64)
+    return _ColumnTable(
+        row_offsets,
+        np.array(ordered_cols, dtype=np.int64),
+        offsets,
+        starts,
+        None,
+        None,
+        values,
+        np.array(initials, dtype=np.float64),
+        compensation=1.0 / probability,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Frozen sketches
+# --------------------------------------------------------------------- #
+
+
+def _expand_unique(
+    d: int, u: int, inv: np.ndarray
+) -> np.ndarray:
+    """Gather indices mapping row-major unique-item probes to the batch.
+
+    Skewed workloads repeat items heavily; hashing and slot location run
+    once per distinct item and fan back out with this index.
+    """
+    return (
+        np.arange(d, dtype=np.intp)[:, None] * u + inv[None, :]
+    ).ravel()
+
+
+class FrozenCountMin:
+    """Frozen :class:`PersistentCountMin` / :class:`PWCCountMin` snapshot."""
+
+    def __init__(self, sketch: PersistentCountMin) -> None:
+        sketch.finalize()
+        self.width = sketch.width
+        self.depth = sketch.depth
+        self.now = sketch.now
+        self.name = f"frozen({sketch.name})"
+        self.hashes = sketch.hashes
+        self._table = _tracker_table(sketch._trackers)
+
+    # -- point ---------------------------------------------------------- #
+
+    def point_many(
+        self,
+        items: Sequence[int] | np.ndarray,
+        windows: Window | Sequence[Window] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized ``point`` over many (item, window) probes.
+
+        ``windows`` is a single ``(s, t)`` pair applied to every item, a
+        sequence (or ``(n, 2)`` array) of per-item pairs, or ``None``
+        for ``(0, now]``.  Bit-equal to calling :meth:`point` per probe.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        n = len(items)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        ss, ts = _window_arrays(windows, n, self.now)
+        unique, inverse = np.unique(items, return_inverse=True)
+        cols = batch_hash_columns(self.hashes, unique)
+        slots, valid = self._table.locate_rows(cols)
+        gather = _expand_unique(self.depth, len(unique), inverse)
+        estimates = self._table.window_eval_rows(
+            slots[gather], valid[gather], ss, ts, ss > 0
+        )
+        return np.median(estimates, axis=0)
+
+    def point(self, item: int, s: float = 0, t: float | None = None) -> float:
+        """Estimate ``f_item(s, t]`` from the frozen snapshot."""
+        s, t = _resolve_window(s, t, self.now)
+        return float(self.point_many([item], (s, t))[0])
+
+    # -- self-join ------------------------------------------------------ #
+
+    def _window_diffs(self, row: int, s: float, t: float) -> np.ndarray:
+        high = self._table.eval_row_all(row, t)
+        if s > 0:
+            high = high - self._table.eval_row_all(row, s)
+        return high
+
+    def self_join_size(self, s: float = 0, t: float | None = None) -> float:
+        """Count-Min style self-join estimate (min over rows)."""
+        s, t = _resolve_window(s, t, self.now)
+        best = None
+        for row in range(self.depth):
+            total = 0.0
+            for diff in self._window_diffs(row, s, t).tolist():
+                total += diff * diff
+            if best is None or total < best:
+                best = total
+        return best or 0.0
+
+
+class FrozenPWCAMS:
+    """Frozen :class:`PWCAMS` snapshot (signed trackers)."""
+
+    def __init__(self, sketch: PWCAMS) -> None:
+        self.width = sketch.width
+        self.depth = sketch.depth
+        self.now = sketch.now
+        self.name = f"frozen({sketch.name})"
+        self.buckets = sketch.buckets
+        self.signs = sketch.signs
+        self._table = _tracker_table(sketch._trackers)
+
+    def point_many(
+        self,
+        items: Sequence[int] | np.ndarray,
+        windows: Window | Sequence[Window] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized signed ``point`` (median of sign * window counter)."""
+        items = np.asarray(items, dtype=np.int64)
+        n = len(items)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        ss, ts = _window_arrays(windows, n, self.now)
+        unique, inverse = np.unique(items, return_inverse=True)
+        cols = batch_hash_columns(self.buckets, unique)
+        sgns = _batch_signs(self.signs, unique)[inverse]
+        slots, valid = self._table.locate_rows(cols)
+        gather = _expand_unique(self.depth, len(unique), inverse)
+        estimates = sgns.T * self._table.window_eval_rows(
+            slots[gather], valid[gather], ss, ts, ss > 0
+        )
+        return np.median(estimates, axis=0)
+
+    def point(self, item: int, s: float = 0, t: float | None = None) -> float:
+        """Estimate ``f_item(s, t]`` from the frozen snapshot."""
+        s, t = _resolve_window(s, t, self.now)
+        return float(self.point_many([item], (s, t))[0])
+
+    def self_join_size(self, s: float = 0, t: float | None = None) -> float:
+        """Biased self-join estimate (median over rows), as live."""
+        s, t = _resolve_window(s, t, self.now)
+        row_estimates = []
+        for row in range(self.depth):
+            diffs = self._table.eval_row_all(row, t)
+            if s > 0:
+                diffs = diffs - self._table.eval_row_all(row, s)
+            total = 0.0
+            for diff in diffs.tolist():
+                total += diff * diff
+            row_estimates.append(total)
+        return median(row_estimates)
+
+
+class FrozenAMS:
+    """Frozen :class:`PersistentAMS` snapshot (sampled history lists)."""
+
+    def __init__(self, sketch: PersistentAMS) -> None:
+        self.width = sketch.width
+        self.depth = sketch.depth
+        self.now = sketch.now
+        self.copies = sketch.copies
+        self.name = f"frozen(Sample)"
+        self.buckets = sketch.buckets
+        self.signs = sketch.signs
+        # _tables[b][copy]: all sketch rows of one (sign, copy) component.
+        self._tables = [
+            [
+                _history_table(
+                    [
+                        sketch._histories[row][b][copy]
+                        for row in range(sketch.depth)
+                    ],
+                    sketch.probability,
+                )
+                for copy in range(sketch.copies)
+            ]
+            for b in range(2)
+        ]
+
+    def point_many(
+        self,
+        items: Sequence[int] | np.ndarray,
+        windows: Window | Sequence[Window] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized ``point`` (Theorem 4.1 estimator) over many probes."""
+        items = np.asarray(items, dtype=np.int64)
+        n = len(items)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        ss, ts = _window_arrays(windows, n, self.now)
+        unique, inverse = np.unique(items, return_inverse=True)
+        cols = batch_hash_columns(self.buckets, unique)
+        sgns = _batch_signs(self.signs, unique)[inverse]
+        d = self.depth
+        gather = _expand_unique(d, len(unique), inverse)
+        both_t = np.concatenate((np.tile(ts, d), np.tile(ss, d)))
+        # Unbiased counter estimate C(t) = pos(t) - neg(t), both window
+        # endpoints of every (query, row) probe in one batch per table.
+        components = []
+        for table in (self._tables[1][0], self._tables[0][0]):
+            slots, valid = table.locate_rows(cols)
+            slots = slots[gather]
+            valid = valid[gather]
+            components.append(
+                table.eval(
+                    np.concatenate((slots, slots)),
+                    np.concatenate((valid, valid)),
+                    both_t,
+                )
+            )
+        vals = components[0] - components[1]
+        # Live counter_estimate returns 0.0 outright for t <= 0.
+        vals = np.where(both_t <= 0, 0.0, vals)
+        high = vals[: d * n].reshape(d, n)
+        low = np.where(ss > 0, vals[d * n :].reshape(d, n), 0.0)
+        estimates = sgns.T * (high - low)
+        return np.median(estimates, axis=0)
+
+    def point(self, item: int, s: float = 0, t: float | None = None) -> float:
+        """Estimate ``f_item(s, t]`` from the frozen snapshot."""
+        s, t = _resolve_window(s, t, self.now)
+        return float(self.point_many([item], (s, t))[0])
+
+    def _counters_row(
+        self, row: int, copy: int, cols: np.ndarray, t: float
+    ) -> np.ndarray:
+        """Unbiased counter estimates ``C[row][col](t)`` (vectorized)."""
+        if t <= 0:  # live counter_estimate returns 0.0 outright
+            return np.zeros(len(cols), dtype=np.float64)
+        out = None
+        ts = np.full(len(cols), float(t))
+        for sign, b in ((1.0, 1), (-1.0, 0)):
+            table = self._tables[b][copy]
+            slots, valid = table.locate_row(row, cols)
+            vals = table.eval(slots, valid, ts)
+            out = vals if out is None else out - vals
+        return out if out is not None else np.zeros(len(cols))
+
+    def _touched_columns(self, row: int) -> np.ndarray:
+        pos = self._tables[1][0].row_cols(row)
+        neg = self._tables[0][0].row_cols(row)
+        return np.union1d(pos, neg)
+
+    def self_join_size(self, s: float = 0, t: float | None = None) -> float:
+        """Estimate ``||f_{s,t}||_2^2`` (Theorem 4.2 with f = g)."""
+        if self.copies < 2:
+            raise ValueError(
+                "self-join estimation needs independent_copies >= 2"
+            )
+        s, t = _resolve_window(s, t, self.now)
+        row_estimates = []
+        for row in range(self.depth):
+            cols = self._touched_columns(row)
+            products = None
+            for copy in (0, 1):
+                high = self._counters_row(row, copy, cols, t)
+                window = (
+                    high - self._counters_row(row, copy, cols, s)
+                    if s > 0
+                    else high
+                )
+                products = window if products is None else products * window
+            total = 0.0
+            if products is not None:
+                for value in products.tolist():
+                    total += value
+            row_estimates.append(total)
+        return median(row_estimates)
+
+
+class FrozenHeavyHitters:
+    """Frozen :class:`PersistentHeavyHitters` (dyadic stack + mass)."""
+
+    def __init__(self, structure: PersistentHeavyHitters) -> None:
+        structure.finalize()
+        self.universe = structure.universe
+        self.levels = structure.levels
+        self.now = structure.now
+        self.name = f"frozen({structure.name})"
+        self._sketches = [
+            FrozenCountMin(sketch) for sketch in structure._sketches
+        ]
+        self._mass = _tracker_table([{0: structure._mass}])
+
+    def _mass_at(self, t: float) -> float:
+        return float(self._mass.eval_row_all(0, t)[0])
+
+    def window_mass(self, s: float = 0, t: float | None = None) -> float:
+        """Estimate of ``||f_{s,t}||_1`` from the frozen mass tracker."""
+        s, t = _resolve_window(s, t, self.now)
+        high = self._mass_at(t)
+        low = self._mass_at(s) if s > 0 else 0.0
+        return max(high - low, 0.0)
+
+    def point(self, item: int, s: float = 0, t: float | None = None) -> float:
+        """Point estimate from the finest (leaf) frozen level."""
+        s, t = _resolve_window(s, t, self.now)
+        return self._sketches[0].point(item, s, t)
+
+    def point_many(
+        self,
+        items: Sequence[int] | np.ndarray,
+        windows: Window | Sequence[Window] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized point estimates from the finest frozen level."""
+        return self._sketches[0].point_many(items, windows)
+
+    def heavy_hitters(
+        self,
+        phi: float,
+        s: float = 0,
+        t: float | None = None,
+        max_candidates: int | None = None,
+    ) -> dict[int, float]:
+        """Dyadic heavy-hitter descent with batched per-level probes.
+
+        Same traversal as the live structure (Theorem 3.2), but each
+        level's candidate children are estimated in one ``point_many``
+        call instead of ``O(1/phi)`` sequential point queries.
+        """
+        if not 0 < phi < 1:
+            raise ValueError(f"phi must lie in (0, 1), got {phi}")
+        s, t = _resolve_window(s, t, self.now)
+        threshold = phi * self.window_mass(s, t)
+        cap = max_candidates or max(16, math.ceil(4.0 / phi))
+
+        candidates = [0]
+        for level in range(self.levels, 0, -1):
+            sketch = self._sketches[level - 1]
+            children = [
+                child
+                for parent in candidates
+                for child in (2 * parent, 2 * parent + 1)
+                if (child << (level - 1)) < self.universe
+            ]
+            if not children:
+                return {}
+            estimates = sketch.point_many(children, (s, t))
+            scored = [
+                (float(estimate), child)
+                for estimate, child in zip(estimates, children)
+                if estimate >= threshold
+            ]
+            if len(scored) > cap:
+                scored.sort(reverse=True)
+                scored = scored[:cap]
+            candidates = [child for _, child in scored]
+            if not candidates:
+                return {}
+        finals = self._sketches[0].point_many(candidates, (s, t))
+        return {
+            item: float(estimate)
+            for item, estimate in zip(candidates, finals)
+        }
+
+
+class FrozenShardedSketch:
+    """Frozen :class:`ShardedPersistentSketch`: per-shard frozen snapshots."""
+
+    def __init__(self, store: ShardedPersistentSketch) -> None:
+        self.shard_length = store.shard_length
+        self.now = store.now
+        self.name = "frozen(sharded)"
+        self._dropped_through = store._dropped_through
+        self._shards = {
+            shard_id: freeze(shard)
+            for shard_id, shard in sorted(store._shards.items())
+        }
+
+    def _shard_id(self, time: float) -> int:
+        return (int(time) - 1) // self.shard_length
+
+    def point_many(
+        self,
+        items: Sequence[int] | np.ndarray,
+        windows: Window | Sequence[Window] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized sharded ``point``: per-shard batches, summed.
+
+        Per-shard contributions accumulate in ascending shard order —
+        the same order as the live path's ``range(first, last + 1)``
+        loop — so totals stay bit-equal.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        n = len(items)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        ss, ts = _window_arrays(windows, n, self.now)
+        firsts = np.empty(n, dtype=np.int64)
+        lasts = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            firsts[i] = self._shard_id(ss[i] + 1)
+            lasts[i] = self._shard_id(ts[i]) if ts[i] > 0 else firsts[i] - 1
+            if firsts[i] <= self._dropped_through and ss[i] < ts[i]:
+                raise ValueError(
+                    "window reaches into expired shards; narrow s past "
+                    "the retention boundary"
+                )
+        totals = np.zeros(n, dtype=np.float64)
+        for shard_id, shard in self._shards.items():
+            start = shard_id * self.shard_length
+            end = start + self.shard_length
+            local_s = np.maximum(ss, float(start))
+            local_t = np.minimum(np.minimum(ts, float(end)), float(shard.now))
+            active = (
+                (firsts <= shard_id)
+                & (lasts >= shard_id)
+                & (local_s < local_t)
+            )
+            if not active.any():
+                continue
+            idx = np.flatnonzero(active)
+            totals[idx] += shard.point_many(
+                items[idx],
+                np.column_stack((local_s[idx], local_t[idx])),
+            )
+        return totals
+
+    def point(self, item: int, s: float = 0, t: float | None = None) -> float:
+        """Estimate ``f_item(s, t]`` from the frozen snapshot."""
+        s, t = _resolve_window(s, t, self.now)
+        return float(self.point_many([item], (s, t))[0])
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+
+# --------------------------------------------------------------------- #
+# Compiler entry point
+# --------------------------------------------------------------------- #
+
+
+def freeze(
+    sketch: PersistentCountMin
+    | PWCAMS
+    | PersistentAMS
+    | PersistentHeavyHitters
+    | ShardedPersistentSketch,
+) -> (
+    FrozenCountMin
+    | FrozenPWCAMS
+    | FrozenAMS
+    | FrozenHeavyHitters
+    | FrozenShardedSketch
+):
+    """Compile a live persistent sketch into a frozen columnar snapshot.
+
+    Finalizes the sketch (flushing open PLA runs) and snapshots its
+    histories as of ``sketch.now``.  The returned object answers
+    ``point`` / ``point_many`` / ``self_join_size`` (and, for the dyadic
+    structure, ``heavy_hitters`` / ``window_mass``) with answers
+    bit-equal to the live query path at a fraction of the cost.
+    """
+    if isinstance(sketch, PersistentCountMin):
+        return FrozenCountMin(sketch)
+    if isinstance(sketch, PWCAMS):
+        return FrozenPWCAMS(sketch)
+    if isinstance(sketch, PersistentAMS):
+        return FrozenAMS(sketch)
+    if isinstance(sketch, PersistentHeavyHitters):
+        return FrozenHeavyHitters(sketch)
+    if isinstance(sketch, ShardedPersistentSketch):
+        return FrozenShardedSketch(sketch)
+    raise TypeError(
+        f"freeze() does not support {type(sketch).__name__}; supported: "
+        f"PersistentCountMin, PWCCountMin, PWCAMS, PersistentAMS, "
+        f"PersistentHeavyHitters, ShardedPersistentSketch"
+    )

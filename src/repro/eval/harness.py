@@ -203,6 +203,56 @@ def build_sample(
 
 
 @lru_cache(maxsize=None)
+def build_paper_shape_cm(
+    name: str,
+    length: int,
+    delta: float,
+    width: int = 20000,
+    depth: int = 7,
+) -> PersistentCountMin:
+    """Paper-shape (w=20000, d=7) PLA Count-Min, bulk-ingested (cached).
+
+    The query-serving benchmark uses the paper's ephemeral shape rather
+    than the scaled-down default, so ingest goes through the columnwise
+    bulk engine (bit-identical to sequential ingest for PLA trackers).
+    """
+    from repro.engine import batch_ingest
+
+    sketch = PersistentCountMin(
+        width=width, depth=depth, delta=delta, seed=BENCH_SEED
+    )
+    batch_ingest(sketch, get_dataset(name, length))
+    return sketch
+
+
+def query_workload(
+    name: str, length: int, count: int, seed: int = BENCH_SEED
+) -> tuple[list[int], list[tuple[float, float]]]:
+    """Deterministic historical point-query workload over a dataset.
+
+    Items are drawn from the stream's own empirical distribution (so hot
+    and cold counters are both probed) and windows ``(s, t]`` are uniform
+    random sub-intervals of the stream's time span — the mix of recent
+    and deep-history windows the paper's query-time discussion assumes.
+    """
+    stream = get_dataset(name, length)
+    rng = np.random.default_rng(seed * 1009 + 17)
+    items = [
+        int(item)
+        for item in rng.choice(np.asarray(stream.items), size=count)
+    ]
+    endpoints = rng.integers(0, length + 1, size=(count, 2))
+    lo = endpoints.min(axis=1)
+    hi = endpoints.max(axis=1)
+    hi = np.minimum(np.maximum(hi, lo + 1), length)
+    lo = np.minimum(lo, hi - 1)
+    windows = [
+        (float(s), float(t)) for s, t in zip(lo.tolist(), hi.tolist())
+    ]
+    return items, windows
+
+
+@lru_cache(maxsize=None)
 def build_hh(
     name: str,
     length: int,

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.pla.orourke import OnlinePLA
 from repro.pla.piecewise_constant import OnlinePWC
 
@@ -32,6 +34,26 @@ class CounterTracker(ABC):
     @abstractmethod
     def finalize(self) -> None:
         """Flush any buffered state (end of stream or epoch boundary)."""
+
+    @property
+    @abstractmethod
+    def initial_value(self) -> float:
+        """Counter value before the first recorded segment/record."""
+
+    @abstractmethod
+    def export_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar export ``(starts, ends, slopes, values_at_start)``.
+
+        A uniform segment view of the history regardless of compressor:
+        PLA trackers export their segments verbatim; PWC trackers export
+        each record as a zero-slope point segment.  Reading at time ``t``
+        means evaluating the predecessor segment clamped into
+        ``[start, end]`` — exactly what :meth:`value_at` does — which is
+        what lets the frozen query engine (:mod:`repro.engine.frozen`)
+        serve every tracker type with one vectorized code path.
+        """
 
 
 class PLATracker(CounterTracker):
@@ -58,6 +80,22 @@ class PLATracker(CounterTracker):
     def finalize(self) -> None:
         self._pla.finalize()
 
+    @property
+    def initial_value(self) -> float:
+        return self._pla.function.initial_value
+
+    def export_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if self._pla.segment_count(include_open=True) > len(
+            self._pla.function
+        ):
+            raise ValueError(
+                "PLA tracker has an open run; call finalize() before "
+                "exporting arrays (freeze() does this for you)"
+            )
+        return self._pla.function.as_arrays()
+
 
 class PWCTracker(CounterTracker):
     """Piecewise-constant history with threshold ``delta`` (Section 2)."""
@@ -82,3 +120,13 @@ class PWCTracker(CounterTracker):
 
     def finalize(self) -> None:
         """No buffered state: PWC records eagerly."""
+
+    @property
+    def initial_value(self) -> float:
+        return self._pwc.function.initial_value
+
+    def export_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        times, values = self._pwc.function.as_arrays()
+        return times, times, np.zeros(len(times), dtype=np.float64), values

@@ -47,6 +47,7 @@ class CountMinSketch:
     ):
         self.width = width
         self.depth = depth
+        self.seed = seed
         self.hashes = hashes or BucketHashFamily(
             HashConfig(width=width, depth=depth, seed=seed)
         )
@@ -105,8 +106,15 @@ class CountMinSketch:
         self.total += other.total
 
     def _check_compatible(self, other: "CountMinSketch") -> None:
-        if self.width != other.width or self.depth != other.depth:
-            raise ValueError("sketches have different shapes")
+        if (
+            self.width != other.width
+            or self.depth != other.depth
+            or self.seed != other.seed
+        ):
+            raise ValueError(
+                "merge/inner_product require sketches with identical "
+                "width, depth and hash seed"
+            )
 
     def words(self) -> int:
         """Size of the counter array in machine words."""

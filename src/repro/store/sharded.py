@@ -128,7 +128,14 @@ class ShardedPersistentSketch(PersistentSketch):
                 continue
             shard_start = shard_id * self.shard_length
             shard_end = shard_start + self.shard_length
-            total += shard.point(item, max(s, shard_start), min(t, shard_end))
+            # Clamp to the shard's own clock: a shard's history is frozen
+            # after its last update, and times past it would (rightly)
+            # be rejected by the shard's window validation.
+            local_s = max(s, shard_start)
+            local_t = min(t, shard_end, shard.now)
+            if local_s >= local_t:
+                continue  # no updates of this shard fall inside (s, t]
+            total += shard.point(item, local_s, local_t)
         return total
 
     @property

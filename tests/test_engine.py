@@ -125,6 +125,56 @@ class TestEdgesAndFallback:
         assert sketch.now == 500
 
 
+class TestShuffledFeedContracts:
+    """Satellite: a mis-ordered feed must be rejected on *both* ingest
+    paths.  The batch path is the dangerous one — it records sampled-AMS
+    offers via ``force_sample``, which deliberately bypasses the
+    ``@monotone_timestamps`` contract — so ``batch_ingest`` has to
+    reject a shuffled feed before any state is touched."""
+
+    def _shuffled(self, n=500, seed=3):
+        stream = zipf_stream(n, universe=2**12, exponent=1.5, seed=7)
+        rng = np.random.default_rng(seed)
+        # Stream validates monotone times at construction; a shuffled
+        # feed can only arise via in-place mutation (or a buggy duck-
+        # typed source), which is exactly what the batch guard catches.
+        rng.shuffle(stream.times)
+        return stream
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: PersistentCountMin(width=256, depth=3, delta=8, seed=3),
+            lambda: PersistentAMS(width=256, depth=3, delta=8, seed=3),
+        ],
+    )
+    def test_batch_ingest_rejects_shuffled_feed(self, factory):
+        from repro.analysis.contracts import ContractViolation
+
+        sketch = factory()
+        with pytest.raises(ContractViolation, match="strictly increasing"):
+            batch_ingest(sketch, self._shuffled())
+        assert sketch.now == 0  # nothing ingested
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: PersistentCountMin(width=256, depth=3, delta=8, seed=3),
+            lambda: PersistentAMS(width=256, depth=3, delta=8, seed=3),
+        ],
+    )
+    def test_sequential_ingest_rejects_shuffled_feed(self, factory):
+        sketch = factory()
+        stream = self._shuffled()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            for time_, item, count in zip(
+                stream.times.tolist(),
+                stream.items.tolist(),
+                stream.counts.tolist(),
+            ):
+                sketch.update(item, count=count, time=time_)
+
+
 class TestSpeed:
     def test_batch_is_faster(self):
         """The sampling sketch benefits most (the batch path touches

@@ -1,0 +1,268 @@
+"""Frozen columnar query engine: bit-equality with the live path.
+
+``freeze(sketch)`` compiles a finalized persistent sketch into columnar
+numpy state (`repro.engine.frozen`).  The speedup is only admissible if
+the frozen snapshot answers *exactly* what the live sketch answers, so
+every test here asserts ``==`` on floats — bitwise equality, not
+approximate closeness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.heavy_hitters import PersistentHeavyHitters
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin, PWCCountMin
+from repro.engine import freeze
+from repro.engine.frozen import (
+    FrozenCountMin,
+    FrozenHeavyHitters,
+    FrozenShardedSketch,
+)
+from repro.core.pwc_ams import PWCAMS
+from repro.eval.harness import compact_items
+from repro.store.sharded import ShardedPersistentSketch
+from repro.streams.generators import zipf_stream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(4000, universe=2**16, exponent=1.6, seed=17)
+
+
+def _workload(stream, n=250, seed=5):
+    """Items (including some never seen) plus random (s, t] windows."""
+    rng = np.random.default_rng(seed)
+    length = len(stream)
+    items = rng.choice(stream.items, size=n).tolist()
+    items += [10**9 + i for i in range(8)]  # untracked columns
+    ends = rng.integers(0, length + 1, size=(len(items), 2))
+    lo, hi = ends.min(axis=1), ends.max(axis=1)
+    hi = np.minimum(np.maximum(hi, lo + 1), length)
+    lo = np.minimum(lo, hi - 1)
+    windows = [(float(s), float(t)) for s, t in zip(lo, hi)]
+    return items, windows
+
+
+def _build(kind, stream, **kw):
+    cls = {
+        "pla": PersistentCountMin,
+        "pwc": PWCCountMin,
+        "pwc_ams": PWCAMS,
+        "sample": PersistentAMS,
+    }[kind]
+    if kind == "sample":
+        kw.setdefault("independent_copies", 2)
+        kw.setdefault("sampling_seed", 11)
+    sketch = cls(width=512, depth=5, delta=16.0, seed=7, **kw)
+    sketch.ingest(stream)
+    return sketch
+
+
+KINDS = ("pla", "pwc", "pwc_ams", "sample")
+
+
+class TestBitEquality:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_point_many_matches_live(self, stream, kind):
+        sketch = _build(kind, stream)
+        frozen = freeze(sketch)
+        items, windows = _workload(stream)
+        live = [sketch.point(i, s, t) for i, (s, t) in zip(items, windows)]
+        assert frozen.point_many(items, windows).tolist() == live
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_point_default_window(self, stream, kind):
+        sketch = _build(kind, stream)
+        frozen = freeze(sketch)
+        for item in set(stream.items[:50].tolist()):
+            assert frozen.point(item) == sketch.point(item)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_self_join_matches_live(self, stream, kind):
+        sketch = _build(kind, stream)
+        frozen = freeze(sketch)
+        length = len(stream)
+        for s, t in [(0, length), (length // 4, 3 * length // 4),
+                     (length // 2, length // 2 + 10)]:
+            assert frozen.self_join_size(s, t) == sketch.self_join_size(s, t)
+
+    def test_point_many_accepts_arrays_and_broadcast(self, stream):
+        sketch = _build("pla", stream)
+        frozen = freeze(sketch)
+        items, windows = _workload(stream, n=60)
+        as_lists = frozen.point_many(items, windows)
+        as_arrays = frozen.point_many(
+            np.asarray(items, dtype=np.int64),
+            np.asarray(windows, dtype=np.float64),
+        )
+        assert as_lists.tolist() == as_arrays.tolist()
+        # A single (s, t) pair broadcasts to every item.
+        broadcast = frozen.point_many(items, (100.0, 2000.0))
+        for item, estimate in zip(items, broadcast.tolist()):
+            assert estimate == sketch.point(item, 100.0, 2000.0)
+
+    def test_empty_batch(self, stream):
+        frozen = freeze(_build("pla", stream))
+        assert len(frozen.point_many([], [])) == 0
+
+    def test_snapshot_is_isolated_from_further_ingest(self, stream):
+        sketch = _build("pla", stream)
+        frozen = freeze(sketch)
+        before = frozen.point(int(stream.items[0]))
+        clock = sketch.now
+        for tick in range(1, 200):
+            sketch.update(int(stream.items[0]), time=clock + tick)
+        assert frozen.point(int(stream.items[0])) == before
+        assert frozen.now == clock
+
+
+class TestFrozenWindows:
+    """Window resolution mirrors the live semantics exactly."""
+
+    def test_negative_start_clamped(self, stream):
+        sketch = _build("pla", stream)
+        frozen = freeze(sketch)
+        item = int(stream.items[0])
+        assert frozen.point(item, -5.0, 300.0) == sketch.point(item, 0, 300.0)
+        batch = frozen.point_many([item], [(-5.0, 300.0)])
+        assert batch[0] == sketch.point(item, 0, 300.0)
+
+    def test_end_beyond_snapshot_raises(self, stream):
+        frozen = freeze(_build("pla", stream))
+        with pytest.raises(ValueError, match="beyond the snapshot clock"):
+            frozen.point(1, 0, frozen.now + 1)
+        with pytest.raises(ValueError, match="beyond the snapshot clock"):
+            frozen.point_many([1], [(0.0, float(frozen.now + 1))])
+
+    def test_inverted_window_raises(self, stream):
+        frozen = freeze(_build("pla", stream))
+        with pytest.raises(ValueError, match="empty window"):
+            frozen.point_many([1], [(200.0, 100.0)])
+
+    def test_window_shape_mismatch_raises(self, stream):
+        frozen = freeze(_build("pla", stream))
+        with pytest.raises(ValueError, match="expected 2"):
+            frozen.point_many([1, 2], [(0.0, 10.0)])
+
+
+class TestLiveWindowEdges:
+    """Satellite: the live ``_resolve_window`` clamp and extrapolation
+    guard, for every persistent sketch type."""
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_negative_start_clamps_to_zero(self, stream, kind):
+        sketch = _build(kind, stream)
+        item = int(stream.items[0])
+        assert sketch.point(item, -7, 500) == sketch.point(item, 0, 500)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_future_end_raises(self, stream, kind):
+        sketch = _build(kind, stream)
+        with pytest.raises(ValueError, match="beyond the last update"):
+            sketch.point(int(stream.items[0]), 0, sketch.now + 1)
+
+
+class TestFrozenHeavyHitters:
+    def test_heavy_hitters_match_live(self, stream):
+        compact = compact_items(stream)
+        live = PersistentHeavyHitters(
+            universe=compact.universe, width=256, depth=3, delta=16.0, seed=7
+        )
+        live.ingest(compact)
+        frozen = freeze(live)
+        assert isinstance(frozen, FrozenHeavyHitters)
+        length = len(compact)
+        for phi in (0.01, 0.05, 0.2):
+            for s, t in [(0, length), (length // 4, 3 * length // 4)]:
+                assert (
+                    frozen.heavy_hitters(phi, s, t)
+                    == live.heavy_hitters(phi, s, t)
+                )
+                assert frozen.window_mass(s, t) == live.window_mass(s, t)
+
+    def test_point_delegates_to_leaf_sketch(self, stream):
+        compact = compact_items(stream)
+        live = PersistentHeavyHitters(
+            universe=compact.universe, width=256, depth=3, delta=16.0, seed=7
+        )
+        live.ingest(compact)
+        frozen = freeze(live)
+        for item in range(5):
+            assert frozen.point(item, 10, 2000) == live.point(item, 10, 2000)
+
+
+class TestFrozenSharded:
+    def _store(self, stream):
+        store = ShardedPersistentSketch(
+            shard_length=1000, width=512, depth=3, delta=8.0, seed=3
+        )
+        for tick, item in enumerate(stream.items.tolist(), start=1):
+            store.update(item, time=tick)
+        return store
+
+    def test_matches_live_across_boundaries(self, stream):
+        store = self._store(stream)
+        frozen = freeze(store)
+        assert isinstance(frozen, FrozenShardedSketch)
+        assert frozen.shard_count == store.shard_count
+        items, windows = _workload(stream, n=120)
+        # Windows that pinch the k*L / k*L + 1 boundaries exactly.
+        items += [int(stream.items[0])] * 4
+        windows += [(999.0, 1001.0), (1000.0, 1001.0),
+                    (999.0, 1000.0), (2000.0, 3000.0)]
+        live = [store.point(i, s, t) for i, (s, t) in zip(items, windows)]
+        assert frozen.point_many(items, windows).tolist() == live
+
+    def test_expired_window_raises_like_live(self, stream):
+        store = self._store(stream)
+        store.drop_before(2000)
+        frozen = freeze(store)
+        with pytest.raises(ValueError, match="expired shards"):
+            frozen.point_many([1], [(500.0, 3000.0)])
+        with pytest.raises(ValueError, match="expired shards"):
+            store.point(1, 500, 3000)
+        # Windows entirely within retained shards still match live.
+        items, windows = _workload(stream, n=80, seed=9)
+        windows = [(max(s, 2000.0), max(t, 2001.0)) for s, t in windows]
+        live = [store.point(i, s, t) for i, (s, t) in zip(items, windows)]
+        assert frozen.point_many(items, windows).tolist() == live
+
+
+class TestFreezeDispatch:
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="does not support"):
+            freeze(object())
+
+    def test_method_on_sketch(self, stream):
+        sketch = _build("pla", stream)
+        frozen = sketch.freeze()
+        assert isinstance(frozen, FrozenCountMin)
+        item = int(stream.items[0])
+        assert frozen.point(item, 5, 500) == sketch.point(item, 5, 500)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    items=st.lists(st.integers(0, 15), min_size=1, max_size=120),
+    window=st.tuples(st.integers(0, 120), st.integers(0, 120)),
+    delta=st.integers(1, 8),
+)
+def test_frozen_equals_live_on_arbitrary_streams(items, window, delta):
+    """Hypothesis: frozen answers are bitwise identical to live on every
+    stream, item and window it can generate."""
+    s, t = sorted(window)
+    t = min(t, len(items))
+    s = min(s, t)
+    sketch = PersistentCountMin(width=64, depth=3, delta=delta, seed=5)
+    for tick, item in enumerate(items, start=1):
+        sketch.update(item, time=tick)
+    frozen = freeze(sketch)
+    probes = sorted(set(items)) + [99]
+    live = [sketch.point(item, s, t) for item in probes]
+    frz = frozen.point_many(probes, (float(s), float(t))).tolist()
+    assert frz == live
+    assert frozen.self_join_size(s, t) == sketch.self_join_size(s, t)

@@ -90,6 +90,28 @@ class TestMergeAndJoin:
         with pytest.raises(ValueError):
             a.merge(b)
 
+    def test_merge_seed_mismatch(self):
+        """Regression: equal shapes but different hash seeds must be
+        rejected — merging rows hashed with different functions silently
+        corrupts every subsequent estimate."""
+        a = CountMinSketch(width=256, depth=4, seed=5)
+        b = CountMinSketch(width=256, depth=4, seed=6)
+        for item in [1, 2, 3]:
+            a.update(item)
+            b.update(item)
+        with pytest.raises(ValueError, match="hash seed"):
+            a.merge(b)
+        with pytest.raises(ValueError, match="hash seed"):
+            a.inner_product(b)
+
+    def test_merge_same_seed_still_allowed(self):
+        a = CountMinSketch(width=256, depth=4, seed=5)
+        b = CountMinSketch(width=256, depth=4, seed=5)
+        a.update(1)
+        b.update(2)
+        a.merge(b)
+        assert a.total == 2
+
     def test_inner_product_upper_bounds_join(self):
         stream = zipf_stream(2000, universe=2**16, exponent=2.0, seed=9)
         a = CountMinSketch(width=512, depth=4, seed=6)

@@ -92,3 +92,65 @@ class TestRetention:
                 sharded.drop_before(t - 1000)
                 sizes.append(sharded.shard_count)
         assert max(sizes) <= 4
+
+
+class TestShardBoundaries:
+    """Satellite: behavior exactly at the k*L / k*L + 1 seams.
+
+    Time t lands in shard (t - 1) // L, so t = k*L is the *last* tick of
+    shard k-1 and t = k*L + 1 the *first* tick of shard k.  Off-by-one
+    errors here silently double-count or drop boundary updates.
+    """
+
+    def test_updates_at_seam_route_to_adjacent_shards(self):
+        sharded = ShardedPersistentSketch(
+            shard_length=1000, width=512, depth=3, delta=4, seed=3
+        )
+        sharded.update(7, time=1000)   # last tick of shard 0
+        sharded.update(7, time=1001)   # first tick of shard 1
+        assert sharded.shard_count == 2
+        # Window (999, 1000] sees only the first update, (1000, 1001]
+        # only the second, (999, 1001] both.
+        assert sharded.point(7, 999, 1000) == pytest.approx(1, abs=0.5)
+        assert sharded.point(7, 1000, 1001) == pytest.approx(1, abs=0.5)
+        assert sharded.point(7, 999, 1001) == pytest.approx(2, abs=0.5)
+
+    def test_boundary_windows_match_unsharded_truth(self):
+        stream = zipf_stream(4000, universe=2**12, exponent=2.0, seed=31)
+        truth = GroundTruth(stream)
+        sharded = ShardedPersistentSketch(
+            shard_length=1000, width=2048, depth=4, delta=2, seed=3
+        )
+        sharded.ingest(stream)
+        item = int(truth.top_k(1, 0, 4000)[0][0])
+        for s, t in [(999, 1001), (1000, 1001), (1000, 2000),
+                     (1999, 2001), (0, 1000), (3000, 4000)]:
+            estimate = sharded.point(item, s, t)
+            exact = truth.frequency(item, s, t)
+            shards_touched = (t - s) // 1000 + 2
+            assert abs(estimate - exact) <= shards_touched * (2 * 2 + 2)
+
+    def test_drop_before_at_seam_keeps_boundary_shard(self):
+        sharded = ShardedPersistentSketch(
+            shard_length=1000, width=512, depth=3, delta=4, seed=3
+        )
+        for t in range(1, 3001):
+            sharded.update(4, time=t)
+        # Cutoff exactly at the seam: shard 0 (times 1..1000) ends at
+        # 1000 <= 1000 and expires; shard 1 (ending 2000) must survive.
+        assert sharded.drop_before(1000) == 1
+        assert sharded.shard_count == 2
+        assert sharded.point(4, 1000, 2000) == pytest.approx(1000, abs=30)
+        with pytest.raises(ValueError):
+            sharded.point(4, 999, 2000)  # reaches one tick into shard 0
+
+    def test_drop_before_one_past_seam_drops_nothing_more(self):
+        sharded = ShardedPersistentSketch(
+            shard_length=1000, width=512, depth=3, delta=4, seed=3
+        )
+        for t in range(1, 3001):
+            sharded.update(4, time=t)
+        # Shard 1 spans (1000, 2000]; a cutoff of 1001 may not expire it.
+        assert sharded.drop_before(1001) == 1
+        assert sharded.shard_count == 2
+        assert sharded.point(4, 1500, 2500) == pytest.approx(1000, abs=30)
