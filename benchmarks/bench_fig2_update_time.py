@@ -20,12 +20,17 @@ def test_fig2_update_time(benchmark):
     result = run_once(benchmark, run_fig2)
     rows = result["rows"]
     assert len(rows) >= 3
-    for _delta, sample_t, pwc_ams_t, pla_t, pwc_cm_t, ephemeral_t in rows:
+    for row in rows:
+        _delta, sample_t, pwc_ams_t, pla_t, pwc_cm_t, pla_batch_t, ephemeral_t = row
         # Every measurement is a real, positive duration.
-        for value in (sample_t, pwc_ams_t, pla_t, pwc_cm_t, ephemeral_t):
+        for value in (
+            sample_t, pwc_ams_t, pla_t, pwc_cm_t, pla_batch_t, ephemeral_t
+        ):
             assert value > 0
         # The paper's headline: persistence costs only a small constant
         # factor over the ephemeral sketch.
         assert max(sample_t, pwc_ams_t, pla_t, pwc_cm_t) < 25 * ephemeral_t
+        # The columnar batch planner beats the scalar update loop.
+        assert pla_batch_t < pla_t
     # Sample is cheaper than PLA at every delta (paper's ordering).
     assert all(row[1] < row[3] for row in rows)

@@ -1,4 +1,4 @@
-"""The sketchlint rule set (SL001–SL009).
+"""The sketchlint rule set (SL001–SL010).
 
 Each rule is a small visitor encoding one invariant of the paper's
 analysis or of disciplined reproduction engineering.  Rules are scoped
@@ -512,5 +512,107 @@ class NonAtomicWriteRule(Rule):
                 node,
                 f".{func.attr}() writes the final path non-atomically; "
                 "use repro.io.atomic (tmp + fsync + rename)",
+            )
+        self.generic_visit(node)
+
+
+@register
+class ScalarHotLoopRule(Rule):
+    """SL010: per-record scalar loop on an ingest hot path.
+
+    The columnar batch pipeline gives every hot-path primitive a
+    vectorized counterpart — ``buckets_many``/``signs_many`` for the
+    hash families, ``update_many`` for the ephemeral sketches,
+    ``ingest_batch``/``feed_many`` for the persistent layers — all
+    bit-identical to their scalar forms.  Inside ``core/`` and
+    ``sketch/``, a ``for`` loop that walks stream columns
+    (``zip(times, items, counts)``-style) or calls ``.buckets()`` /
+    ``.signs()`` per record is therefore either dead weight (throughput
+    measured in Python interpreter overhead) or a scalar *reference*
+    implementation — the latter opts out with a per-line suppression.
+    """
+
+    code = "SL010"
+    summary = "per-record scalar loop on a hot path with a *_many counterpart"
+    rationale = (
+        "Hot-path primitives have bit-identical vectorized counterparts; "
+        "per-record Python loops in core/ and sketch/ forfeit the "
+        "columnar pipeline's throughput (suppress scalar references)."
+    )
+
+    _SCOPES = {"core", "sketch"}
+    _COLUMN_NAMES = {"times", "items", "counts"}
+    _SCALAR_HASH = {"buckets": "buckets_many", "signs": "signs_many"}
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return _in_library(path) and bool(cls._SCOPES & set(_parts(path)))
+
+    def check_module(self, tree: ast.Module, source: str) -> None:
+        self._loop_depth = 0
+        self.visit(tree)
+
+    @staticmethod
+    def _unwrap_enumerate(node: ast.expr) -> ast.expr:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "enumerate"
+            and node.args
+        ):
+            return node.args[0]
+        return node
+
+    def _mentions_stream_column(self, node: ast.expr) -> bool:
+        for part in ast.walk(node):
+            if isinstance(part, ast.Name) and part.id in self._COLUMN_NAMES:
+                return True
+            if (
+                isinstance(part, ast.Attribute)
+                and part.attr in self._COLUMN_NAMES
+            ):
+                return True
+        return False
+
+    def visit_For(self, node: ast.For) -> None:
+        """Flag per-record walks over materialized stream columns."""
+        iterated = self._unwrap_enumerate(node.iter)
+        if (
+            isinstance(iterated, ast.Call)
+            and isinstance(iterated.func, ast.Name)
+            and iterated.func.id == "zip"
+            and any(
+                self._mentions_stream_column(arg) for arg in iterated.args
+            )
+        ):
+            self.report(
+                node,
+                "per-record zip loop over stream columns; use the "
+                "columnar ingest_batch/update_many path (suppress for "
+                "scalar reference implementations)",
+            )
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        """Track loop nesting for the per-record hash-call check."""
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag scalar hash evaluation inside a loop."""
+        func = node.func
+        if (
+            self._loop_depth > 0
+            and isinstance(func, ast.Attribute)
+            and func.attr in self._SCALAR_HASH
+        ):
+            many = self._SCALAR_HASH[func.attr]
+            self.report(
+                node,
+                f".{func.attr}() evaluated per record inside a loop; "
+                f"hoist the batch through the vectorized .{many}()",
             )
         self.generic_visit(node)

@@ -12,6 +12,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING
 
+import numpy as np
+
+from repro.analysis import contracts
 from repro.streams.model import Stream
 
 if TYPE_CHECKING:  # repro.engine depends on repro.core; import lazily.
@@ -62,10 +65,84 @@ class PersistentSketch(ABC):
         self._ingest(item, count, time)
         self._clock = time
 
-    def ingest(self, stream: Stream) -> None:
-        """Ingest a whole :class:`~repro.streams.model.Stream`."""
-        for t, i, c in zip(stream.times, stream.items, stream.counts):
-            self.update(int(i), int(c), int(t))
+    def ingest(self, stream: Stream, batch_size: int = 8192) -> None:
+        """Ingest a whole :class:`~repro.streams.model.Stream`.
+
+        A thin wrapper over the chunked batch planner: the stream is cut
+        into ``batch_size`` chunks and each chunk goes through
+        :meth:`ingest_batch`.  Bit-identical to a loop of scalar
+        :meth:`update` calls for every chunk size.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        n = len(stream)
+        times = np.asarray(stream.times, dtype=np.int64)
+        items = np.asarray(stream.items, dtype=np.int64)
+        counts = np.asarray(stream.counts, dtype=np.int64)
+        for lo in range(0, n, batch_size):
+            hi = min(lo + batch_size, n)
+            self.ingest_batch(times[lo:hi], items[lo:hi], counts[lo:hi])
+
+    def ingest_batch(
+        self,
+        times: np.ndarray,
+        items: np.ndarray,
+        counts: np.ndarray | None = None,
+    ) -> None:
+        """Ingest a column of updates at once.
+
+        Validates the whole batch up front — equal lengths, first time
+        beyond the clock (:class:`ValueError`, as scalar :meth:`update`
+        raises), strictly increasing times inside the batch
+        (:class:`~repro.analysis.contracts.ContractViolation`) — then
+        hands the columns to the sketch's batch plan.  State after the
+        call is bit-identical to the scalar :meth:`update` loop; no state
+        is touched when validation fails.  ``counts`` defaults to
+        all-ones (the cash-register model).
+        """
+        times = np.asarray(times, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        n = times.shape[0]
+        if counts is None:
+            counts = np.ones(n, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+        if items.shape[0] != n or counts.shape[0] != n:
+            raise ValueError(
+                "times, items and counts must have equal lengths, got "
+                f"{n}/{items.shape[0]}/{counts.shape[0]}"
+            )
+        if n == 0:
+            return
+        if int(times[0]) <= self._clock:
+            raise ValueError(
+                f"stream starts at {int(times[0])} but the sketch "
+                f"clock is already at {self._clock}"
+            )
+        if n > 1:
+            gaps = np.diff(times)
+            if int(gaps.min()) <= 0:
+                bad = int(np.argmax(gaps <= 0))
+                raise contracts.ContractViolation(
+                    f"batch stream timestamps must be strictly increasing: "
+                    f"times[{bad + 1}]={int(times[bad + 1])} <= "
+                    f"times[{bad}]={int(times[bad])}"
+                )
+        self._ingest_batch(times, items, counts)
+        self._clock = int(times[-1])
+
+    def _ingest_batch(
+        self, times: np.ndarray, items: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Apply one clock-validated batch; override with a columnar plan.
+
+        The fallback replays the batch through :meth:`_ingest` one record
+        at a time, advancing the clock per record so nested sketches see
+        exactly the sequence scalar :meth:`update` calls would produce.
+        """
+        for t, i, c in zip(times.tolist(), items.tolist(), counts.tolist()):  # sketchlint: disable=SL010 — scalar reference fallback
+            self._ingest(i, c, t)
+            self._clock = t
 
     @abstractmethod
     def _ingest(self, item: int, count: int, time: int) -> None:

@@ -1,0 +1,93 @@
+"""Shared helpers for the columnar batch ingestion planner.
+
+The batch plan every tracked sketch follows: a stable sort of one row's
+updates by column turns the row's time-ordered update sequence into
+per-counter runs; each counter's value sequence within its run is just
+``base + cumsum(counts)``, so the whole row needs one global cumsum and
+one pass over the runs.  Because counters (and their trackers/history
+lists) are independent of each other, feeding each counter its complete
+run in time order is bit-identical to interleaved scalar feeding.
+
+These helpers live in :mod:`repro.core` (not :mod:`repro.engine`) so the
+sketches' ``_ingest_batch`` implementations can use them without an
+import cycle; the engine's :func:`repro.engine.batch.batch_ingest` is a
+thin wrapper over the sketch-level API.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.persistence.tracker import CounterTracker
+
+
+def group_slices(sorted_keys: np.ndarray) -> list[tuple[int, int]]:
+    """``(start, end)`` index pairs of equal-key runs in a sorted array."""
+    if len(sorted_keys) == 0:
+        return []
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(sorted_keys)]))
+    return list(zip(starts.tolist(), ends.tolist()))
+
+
+def run_values(
+    bases: np.ndarray,
+    sorted_counts: np.ndarray,
+    slices: list[tuple[int, int]],
+) -> np.ndarray:
+    """Counter value after each update, for all equal-key runs at once.
+
+    ``bases[g]`` is the counter's value before the first update of run
+    ``g``.  Within each run the value sequence is ``base + cumsum`` of
+    the run's counts; computed with one global cumsum plus a per-run
+    offset correction, so no per-run numpy calls are needed.  Positions
+    before the first run (updates excluded from every run, sorted to the
+    front) keep meaningless values — callers only read run positions.
+    """
+    csum = np.cumsum(sorted_counts)
+    values = csum.copy()
+    if slices:
+        prev = np.concatenate(([0], csum[:-1]))
+        starts = np.array([lo for lo, _hi in slices], dtype=np.int64)
+        sizes = np.array([hi - lo for lo, hi in slices], dtype=np.int64)
+        first = slices[0][0]
+        values[first:] += np.repeat(bases - prev[starts], sizes)
+    return values
+
+
+def feed_tracked_row(
+    counters: list[int],
+    trackers: dict[int, CounterTracker],
+    row_cols: np.ndarray,
+    times: np.ndarray,
+    counts: np.ndarray,
+    make_tracker: Callable[[], CounterTracker],
+) -> None:
+    """Apply one row's updates: group by column, feed trackers per run.
+
+    Every update feeds its column's tracker (count 0 included, exactly
+    like the scalar path).  Runs are handed over as integer numpy
+    columns: trackers with a fused batch path consume them directly,
+    the rest convert back to Python scalars so the recorded state
+    matches scalar feeding bit-for-bit.
+    """
+    order = np.argsort(row_cols, kind="stable")
+    sorted_cols = row_cols[order]
+    slices = group_slices(sorted_cols)
+    bases = np.array(
+        [counters[int(sorted_cols[lo])] for lo, _hi in slices],
+        dtype=np.int64,
+    )
+    values = run_values(bases, counts[order], slices)
+    sorted_times = times[order]
+    for lo, hi in slices:
+        col = int(sorted_cols[lo])
+        tracker = trackers.get(col)
+        if tracker is None:
+            tracker = make_tracker()
+            trackers[col] = tracker
+        tracker.feed_many(sorted_times[lo:hi], values[lo:hi])
+        counters[col] = int(values[hi - 1])

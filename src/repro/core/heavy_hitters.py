@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+import numpy as np
+
 from repro.core.base import PersistentSketch
 from repro.core.persistent_countmin import PersistentCountMin
 from repro.hashing.families import IdentityHashFamily
@@ -106,6 +108,28 @@ class PersistentHeavyHitters(PersistentSketch):
             sketch.update(item >> level, count, time)
         self._mass_total += count
         self._mass.feed(time, self._mass_total)
+
+    def _ingest_batch(
+        self, times: np.ndarray, items: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Columnar plan: forward the columns to every level at once.
+
+        Items are validated up front, so a bad item rejects the whole
+        batch before any level is touched (the scalar path applies the
+        records preceding the offender first).  Each level sketch and the
+        mass tracker see exactly the sequence scalar updates produce.
+        """
+        bad = (items < 0) | (items >= self.universe)
+        if bad.any():
+            offender = int(items[int(np.argmax(bad))])
+            raise ValueError(
+                f"item {offender} outside universe [0, {self.universe})"
+            )
+        for level, sketch in enumerate(self._sketches):
+            sketch.ingest_batch(times, items >> level, counts)
+        totals = self._mass_total + np.cumsum(counts)
+        self._mass.feed_many(times.tolist(), totals.tolist())
+        self._mass_total = int(totals[-1])
 
     def finalize(self) -> None:
         """Flush open PLA runs in every level sketch and the mass tracker.

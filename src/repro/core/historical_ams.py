@@ -20,6 +20,8 @@ from bisect import bisect_right
 from random import Random
 from statistics import median
 
+import numpy as np
+
 from repro.core.base import PersistentSketch
 from repro.hashing import BucketHashFamily, HashConfig, SignHashFamily
 from repro.persistence.epochs import EpochManager
@@ -165,6 +167,51 @@ class HistoricalAMS(PersistentSketch):
                     current.index, self._probability, before, self._rng
                 )
                 history.offer(time, value)
+
+    def _ingest_batch(
+        self, times: np.ndarray, items: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Pre-hashed batch plan.
+
+        The epoch advance interleaves the amortized aux-sketch check, the
+        sampling-probability change and the per-offer RNG draws, so the
+        walk stays sequential; hashing — the vectorizable part — is
+        hoisted out through ``buckets_many``/``signs_many``.
+        """
+        columns = self.buckets.buckets_many(items)
+        signs = self.signs.signs_many(items)
+        for idx, (time, item, count) in enumerate(  # sketchlint: disable=SL010 — epoch/aux/RNG interleaving is inherently sequential
+            zip(times.tolist(), items.tolist(), counts.tolist())
+        ):
+            self._aux.update(item, count)
+            self.total += count
+            self._maybe_advance_epoch(time)
+            current = self._epochs.current
+            if current is None:
+                raise RuntimeError(
+                    "epoch manager has no open epoch after observe"
+                )
+            magnitude = abs(count)
+            if magnitude == 0:
+                continue
+            for row in range(self.depth):
+                col = int(columns[row, idx])
+                effective = int(signs[row, idx]) * count
+                b = 1 if effective > 0 else 0
+                component = self._components[row][col]
+                before = component[b]
+                value = before + magnitude
+                component[b] = value
+                for copy in range(self.copies):
+                    tracked = self._tracked[row][b][copy]
+                    entry = tracked.get(col)
+                    if entry is None:
+                        entry = _EpochedComponent()
+                        tracked[col] = entry
+                    history = entry.history_for(
+                        current.index, self._probability, before, self._rng
+                    )
+                    history.offer(time, value)
 
     def _maybe_advance_epoch(self, time: int) -> None:
         if self._epochs.current is not None and self._updates_until_check > 0:

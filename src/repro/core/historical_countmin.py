@@ -17,6 +17,9 @@ from __future__ import annotations
 from bisect import bisect_right
 from statistics import median
 
+import numpy as np
+
+from repro.core import columnar
 from repro.core.base import PersistentSketch
 from repro.hashing import BucketHashFamily, HashConfig
 from repro.hashing.families import IdentityHashFamily
@@ -133,6 +136,71 @@ class HistoricalCountMin(PersistentSketch):
                 current.index, self._delta, float(before)
             )
             tracker.feed(time, value)
+
+    def _ingest_batch(
+        self, times: np.ndarray, items: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Columnar plan: simulate epochs, then vectorize each epoch slice.
+
+        Epoch boundaries depend only on ``(time, running |total|)``, so a
+        cheap sequential walk reproduces the exact epoch index and Delta
+        every update saw; updates sharing an epoch then go through the
+        per-(row, col) run plan, acquiring each run's tracker once via
+        ``tracker_for`` — equivalent to the scalar per-update calls, which
+        return the same open tracker for every later update of the epoch.
+        """
+        times_list = times.tolist()
+        counts_list = counts.tolist()
+        epoch_ids = np.empty(len(times_list), dtype=np.int64)
+        deltas: list[float] = []
+        total = self.total
+        for idx, (time, count) in enumerate(zip(times_list, counts_list)):
+            total += count
+            epoch = self._epochs.observe(time, max(abs(total), 1))
+            if epoch is not None:
+                self._delta = max(self.eps * epoch.start_norm, self.eps)
+            current = self._epochs.current
+            if current is None:
+                raise RuntimeError(
+                    "epoch manager has no open epoch after observe"
+                )
+            epoch_ids[idx] = current.index
+            deltas.append(self._delta)
+        self.total = total
+        columns = self.hashes.buckets_many(items)
+        for lo, hi in columnar.group_slices(epoch_ids):
+            epoch_index = int(epoch_ids[lo])
+            delta = deltas[lo]
+            slice_times = times[lo:hi]
+            slice_counts = counts[lo:hi]
+            for row in range(self.depth):
+                row_cols = columns[row, lo:hi]
+                order = np.argsort(row_cols, kind="stable")
+                sorted_cols = row_cols[order]
+                slices = columnar.group_slices(sorted_cols)
+                counters = self._counters[row]
+                tracked = self._tracked[row]
+                bases = np.array(
+                    [counters[int(sorted_cols[g_lo])] for g_lo, _ in slices],
+                    dtype=np.int64,
+                )
+                values_list = columnar.run_values(
+                    bases, slice_counts[order], slices
+                ).tolist()
+                sorted_times = slice_times[order].tolist()
+                for gidx, (g_lo, g_hi) in enumerate(slices):
+                    col = int(sorted_cols[g_lo])
+                    counter = tracked.get(col)
+                    if counter is None:
+                        counter = _EpochedCounter()
+                        tracked[col] = counter
+                    tracker = counter.tracker_for(
+                        epoch_index, delta, float(bases[gidx])
+                    )
+                    tracker.feed_many(
+                        sorted_times[g_lo:g_hi], values_list[g_lo:g_hi]
+                    )
+                    counters[col] = values_list[g_hi - 1]
 
     def point(self, item: int, s: float = 0, t: float | None = None) -> float:
         """Estimate ``f_item(0, t]`` (Theorem 5.1: error ``eps * ||f_t||_1``)."""

@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+import numpy as np
+
 from repro.core.base import PersistentSketch
 from repro.core.historical_countmin import HistoricalCountMin
 from repro.hashing.families import IdentityHashFamily
@@ -98,6 +100,33 @@ class HistoricalHeavyHitters(PersistentSketch):
                 abs(self._mass_total) * (1.0 + self.eps),
                 self._next_mass_record + 1.0,
             )
+
+    def _ingest_batch(
+        self, times: np.ndarray, items: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Columnar plan: forward the columns to every level at once.
+
+        Items are validated up front (a bad item rejects the whole batch
+        before any level is touched); the cheap mass-record walk stays
+        sequential because the next recording threshold depends on each
+        record in turn.
+        """
+        bad = (items < 0) | (items >= self.universe)
+        if bad.any():
+            offender = int(items[int(np.argmax(bad))])
+            raise ValueError(
+                f"item {offender} outside universe [0, {self.universe})"
+            )
+        for level, sketch in enumerate(self._sketches):
+            sketch.ingest_batch(times, items >> level, counts)
+        for time, count in zip(times.tolist(), counts.tolist()):  # sketchlint: disable=SL010 — mass-record thresholds are sequential
+            self._mass_total += count
+            if abs(self._mass_total) >= self._next_mass_record:
+                self._mass_records.append(time, float(self._mass_total))
+                self._next_mass_record = max(
+                    abs(self._mass_total) * (1.0 + self.eps),
+                    self._next_mass_record + 1.0,
+                )
 
     def point(self, item: int, s: float = 0, t: float | None = None) -> float:
         """Historical point estimate from the level-0 sketch (s = 0)."""

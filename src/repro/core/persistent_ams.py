@@ -23,10 +23,14 @@ from __future__ import annotations
 from random import Random
 from statistics import median
 
+import numpy as np
+
 from repro.analysis import contracts
+from repro.core import columnar
 from repro.core.base import PersistentSketch
 from repro.hashing import BucketHashFamily, HashConfig, SignHashFamily
 from repro.persistence.history_list import SampledHistoryList
+from repro.persistence.sampling import bulk_uniforms
 from repro.persistence.timeline import TimelineIndex
 
 
@@ -131,6 +135,75 @@ class PersistentAMS(PersistentSketch):
                     lists[col] = history
                 history.offer(time, value)
         self.total += count
+
+    def _ingest_batch(
+        self, times: np.ndarray, items: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Columnar plan, bit-identical to sequential sampling.
+
+        The scalar path draws exactly one uniform per offer, in
+        (update, row, copy) order; :func:`bulk_uniforms` pre-draws that
+        exact sequence from the sketch RNG (and leaves the RNG in the
+        same end state), so the accepted sample sets — and every later
+        draw — match the scalar path bit-for-bit.  Component values come
+        from per-(row, col, component) cumulative-magnitude runs.
+        """
+        magnitudes = np.abs(counts)
+        active = np.flatnonzero(magnitudes > 0)
+        m = int(active.shape[0])
+        if m:
+            a_items = items[active]
+            a_times = times[active]
+            a_mags = magnitudes[active]
+            a_counts = counts[active]
+            columns = self.buckets.buckets_many(a_items)
+            signs = self.signs.signs_many(a_items)
+            probability = self.probability
+            uniforms = bulk_uniforms(
+                self._rng, m * self.depth * self.copies
+            ).reshape(m, self.depth, self.copies)
+            for row in range(self.depth):
+                # Group by (column, component): component streams are
+                # independent monotone counters.
+                b_flags = (signs[row] * a_counts > 0).astype(np.int64)
+                keys = columns[row] * 2 + b_flags
+                order = np.argsort(keys, kind="stable")
+                sorted_keys = keys[order]
+                slices = columnar.group_slices(sorted_keys)
+                components = self._components[row]
+                bases = np.array(
+                    [
+                        components[int(sorted_keys[lo]) // 2][
+                            int(sorted_keys[lo]) % 2
+                        ]
+                        for lo, _hi in slices
+                    ],
+                    dtype=np.int64,
+                )
+                values_list = columnar.run_values(
+                    bases, a_mags[order], slices
+                ).tolist()
+                times_list = a_times[order].tolist()
+                accepted = uniforms[order, row, :] < probability
+                for lo, hi in slices:
+                    key = int(sorted_keys[lo])
+                    col, b = key // 2, key % 2
+                    for copy in range(self.copies):
+                        lists = self._histories[row][b][copy]
+                        history = lists.get(col)
+                        if history is None:
+                            history = SampledHistoryList(
+                                probability=probability, rng=self._rng
+                            )
+                            lists[col] = history
+                        hits = np.flatnonzero(accepted[lo:hi, copy]).tolist()
+                        if hits:
+                            history.extend(
+                                [times_list[lo + k] for k in hits],
+                                [values_list[lo + k] for k in hits],
+                            )
+                    components[col][b] = values_list[hi - 1]
+        self.total += int(counts.sum())
 
     # ------------------------------------------------------------------ #
     # Counter reconstruction

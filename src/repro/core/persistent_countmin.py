@@ -21,6 +21,9 @@ from __future__ import annotations
 from statistics import median
 from typing import Callable
 
+import numpy as np
+
+from repro.core import columnar
 from repro.core.base import PersistentSketch
 from repro.hashing import BucketHashFamily, HashConfig
 from repro.hashing.families import IdentityHashFamily
@@ -98,6 +101,22 @@ class PersistentCountMin(PersistentSketch):
                 trackers[col] = tracker
             tracker.feed(time, value)
         self.total += count
+
+    def _ingest_batch(
+        self, times: np.ndarray, items: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Columnar plan: vectorized hashing, per-(row, col) change runs."""
+        columns = self.hashes.buckets_many(items)
+        for row in range(self.depth):
+            columnar.feed_tracked_row(
+                self._counters[row],
+                self._trackers[row],
+                columns[row],
+                times,
+                counts,
+                lambda: self._tracker_factory(self.delta, 0.0),
+            )
+        self.total += int(counts.sum())
 
     def finalize(self) -> None:
         """Flush open PLA runs.  Optional: queries also work mid-stream."""

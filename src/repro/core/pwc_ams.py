@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from statistics import median
 
+import numpy as np
+
+from repro.core import columnar
 from repro.core.base import PersistentSketch
 from repro.hashing import BucketHashFamily, HashConfig, SignHashFamily
 from repro.persistence.tracker import PWCTracker
@@ -54,6 +57,23 @@ class PWCAMS(PersistentSketch):
                 trackers[col] = tracker
             tracker.feed(time, value)
         self.total += count
+
+    def _ingest_batch(
+        self, times: np.ndarray, items: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Columnar plan: signed counts per row, per-(row, col) runs."""
+        columns = self.buckets.buckets_many(items)
+        signs = self.signs.signs_many(items)
+        for row in range(self.depth):
+            columnar.feed_tracked_row(
+                self._counters[row],
+                self._trackers[row],
+                columns[row],
+                times,
+                signs[row] * counts,
+                lambda: PWCTracker(delta=self.delta, initial_value=0.0),
+            )
+        self.total += int(counts.sum())
 
     def counter_at(self, row: int, col: int, t: float) -> float:
         """Approximate value of counter ``C[row][col]`` at time ``t``."""

@@ -1,303 +1,47 @@
 """Columnwise bulk ingestion for materialized streams.
 
-Strategy: hash only the *unique* items (streams revisit elements
-constantly), expand to per-update columns with numpy indexing, then
-process each counter's updates as one contiguous, time-ordered group —
-a stable sort by column turns the row's update sequence into per-counter
-runs whose counter values are just base + cumulative counts.  Feeding a
-tracker its whole run in one tight loop avoids the per-update dict
-lookups, attribute chases and clock checks of the generic path.
+Since the ingestion path became columnar end to end (every
+:class:`~repro.core.base.PersistentSketch` carries a first-class
+:meth:`~repro.core.base.PersistentSketch.ingest_batch` plan),
+:func:`batch_ingest` is a thin adapter that hands a
+:class:`~repro.streams.model.Stream`'s columns to the sketch.  The batch
+path is **bit-identical** to sequential ingest for every sketch type —
+including the sampling-based persistent AMS, whose Bernoulli draws are
+pre-drawn from the sketch's own ``random.Random`` stream in scalar order
+(see :func:`repro.persistence.sampling.bulk_uniforms`).
 
-Deterministic schemes (PLA / PWC trackers) produce **bit-identical**
-results to sequential ingest: each counter sees exactly the same
-(time, value) sequence.  The sampling-based persistent AMS draws its
-Bernoulli samples from a numpy generator instead of the sketch's
-``random.Random``, so batch-built sketches are statistically — not
-bitwise — equivalent to sequentially built ones (and deterministic given
-the sketch's sampling seed).
+The planner itself — stable sort by column, per-counter runs of
+``base + cumsum(counts)``, tracker feeds per run — lives in
+:mod:`repro.core.columnar` and the sketches' ``_ingest_batch`` methods.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import contracts
-from repro.core.persistent_ams import PersistentAMS
-from repro.core.persistent_countmin import PersistentCountMin
-from repro.core.pwc_ams import PWCAMS
-from repro.persistence.history_list import SampledHistoryList
-from repro.persistence.tracker import PWCTracker
 from repro.streams.model import Stream
 
 
 def batch_hash_columns(family, items: np.ndarray) -> np.ndarray:
     """Per-row bucket columns for every update, shape ``(n, depth)``.
 
-    Hashes each distinct item once (through the family's memo cache) and
-    expands with vectorized indexing.
+    A transposed view over the family's vectorized
+    ``buckets_many(items) -> (depth, n)`` evaluation.
     """
-    unique, inverse = np.unique(items, return_inverse=True)
-    table = np.empty((len(unique), family.depth), dtype=np.int64)
-    for idx, item in enumerate(unique):
-        table[idx] = family.buckets(int(item))
-    return table[inverse]
+    return family.buckets_many(np.asarray(items)).T
 
 
 def _batch_signs(family, items: np.ndarray) -> np.ndarray:
-    unique, inverse = np.unique(items, return_inverse=True)
-    table = np.empty((len(unique), family.depth), dtype=np.int64)
-    for idx, item in enumerate(unique):
-        table[idx] = family.signs(int(item))
-    return table[inverse]
-
-
-def _validate(sketch, stream: Stream) -> None:
-    if len(stream) == 0:
-        return
-    if int(stream.times[0]) <= sketch.now:
-        raise ValueError(
-            f"stream starts at {int(stream.times[0])} but the sketch "
-            f"clock is already at {sketch.now}"
-        )
-    # The sequential path enforces strictly increasing timestamps via the
-    # per-update clock check; the batch paths skip those checks (and the
-    # sampled-AMS path records via force_sample, bypassing the
-    # @monotone_timestamps contract entirely), so a mis-ordered feed must
-    # be rejected here, before any per-group copy loop runs.
-    times = np.asarray(stream.times)
-    if len(times) > 1:
-        gaps = np.diff(times)
-        if gaps.min() <= 0:
-            bad = int(np.argmax(gaps <= 0))
-            raise contracts.ContractViolation(
-                f"batch stream timestamps must be strictly increasing: "
-                f"times[{bad + 1}]={int(times[bad + 1])} <= "
-                f"times[{bad}]={int(times[bad])}"
-            )
+    """Per-row signs for every update, shape ``(n, depth)``."""
+    return family.signs_many(np.asarray(items)).T
 
 
 def batch_ingest(sketch, stream: Stream) -> None:
-    """Bulk-ingest ``stream`` into ``sketch`` (dispatches on type).
+    """Bulk-ingest ``stream`` into ``sketch``.
 
-    Supported: :class:`PersistentCountMin` (and its PWC subclass),
-    :class:`PWCAMS`, :class:`PersistentAMS`.  Other sketches fall back
-    to the generic sequential path.
+    Equivalent to ``sketch.ingest(stream)``; kept as the engine-level
+    entry point.  Validation (clock conflicts, strictly increasing
+    timestamps) happens in :meth:`~repro.core.base.PersistentSketch.ingest_batch`
+    before any state is touched.
     """
-    if isinstance(sketch, PersistentCountMin):
-        _ingest_tracked_cm(sketch, stream)
-    elif isinstance(sketch, PWCAMS):
-        _ingest_pwc_ams(sketch, stream)
-    elif isinstance(sketch, PersistentAMS):
-        _ingest_sample_ams(sketch, stream)
-    else:
-        sketch.ingest(stream)
-
-
-def _group_slices(sorted_keys: np.ndarray) -> list[tuple[int, int]]:
-    """(start, end) index pairs of equal-key runs in a sorted array."""
-    if len(sorted_keys) == 0:
-        return []
-    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
-    starts = np.concatenate(([0], boundaries))
-    ends = np.concatenate((boundaries, [len(sorted_keys)]))
-    return list(zip(starts.tolist(), ends.tolist()))
-
-
-def _feed_pwc_list(
-    tracker: PWCTracker, times: list[int], values: list[float]
-) -> None:
-    """Feed one counter group into a PWC tracker, record-by-record.
-
-    Walks the run emitting only where the drift rule fires — identical
-    records to the per-point path, without the per-point method calls.
-    """
-    pwc = tracker._pwc
-    function = pwc.function
-    delta = pwc.delta
-    last = pwc._last_recorded
-    for idx, value in enumerate(values):
-        if value - last > delta or last - value > delta:
-            last = value
-            function.append(times[idx], value)
-    pwc._last_recorded = last
-
-
-def _row_values(
-    counters: list[int],
-    sorted_cols: np.ndarray,
-    sorted_counts: np.ndarray,
-    slices: list[tuple[int, int]],
-) -> np.ndarray:
-    """Counter values after each update of a sorted row, all groups at once.
-
-    Within each group the value sequence is ``base + cumsum(counts)``;
-    computed with one global cumsum and per-group offset subtraction so
-    no per-group numpy calls are needed.
-    """
-    csum = np.cumsum(sorted_counts)
-    prev = np.concatenate(([0], csum[:-1]))
-    starts = np.array([lo for lo, _hi in slices], dtype=np.int64)
-    sizes = np.array([hi - lo for lo, hi in slices], dtype=np.int64)
-    bases = np.array(
-        [counters[int(sorted_cols[lo])] for lo, _hi in slices],
-        dtype=np.int64,
-    )
-    return csum + np.repeat(bases - prev[starts], sizes)
-
-
-def _ingest_row_groups(
-    sketch,
-    row: int,
-    columns: np.ndarray,
-    times: np.ndarray,
-    counts: np.ndarray,
-    make_tracker,
-) -> None:
-    row_cols = columns[:, row]
-    order = np.argsort(row_cols, kind="stable")
-    sorted_cols = row_cols[order]
-    slices = _group_slices(sorted_cols)
-    counters = sketch._counters[row]
-    trackers = sketch._trackers[row]
-    values = _row_values(counters, sorted_cols, counts[order], slices)
-    values_list = values.tolist()
-    times_list = times[order].tolist()
-    for lo, hi in slices:
-        col = int(sorted_cols[lo])
-        tracker = trackers.get(col)
-        if tracker is None:
-            tracker = make_tracker()
-            trackers[col] = tracker
-        if isinstance(tracker, PWCTracker):
-            _feed_pwc_list(tracker, times_list[lo:hi], values_list[lo:hi])
-        else:
-            feed = tracker.feed
-            for idx in range(lo, hi):
-                feed(times_list[idx], values_list[idx])
-        counters[col] = int(values_list[hi - 1])
-
-
-def _ingest_tracked_cm(sketch: PersistentCountMin, stream: Stream) -> None:
-    _validate(sketch, stream)
-    n = len(stream)
-    if n == 0:
-        return
-    items = np.asarray(stream.items)
-    times = np.asarray(stream.times)
-    counts = np.asarray(stream.counts)
-    columns = batch_hash_columns(sketch.hashes, items)
-    for row in range(sketch.depth):
-        _ingest_row_groups(
-            sketch,
-            row,
-            columns,
-            times,
-            counts,
-            lambda: sketch._tracker_factory(sketch.delta, 0.0),
-        )
-    sketch.total += int(counts.sum())
-    sketch._clock = int(times[-1])
-
-
-def _ingest_pwc_ams(sketch: PWCAMS, stream: Stream) -> None:
-    _validate(sketch, stream)
-    n = len(stream)
-    if n == 0:
-        return
-    items = np.asarray(stream.items)
-    times = np.asarray(stream.times)
-    counts = np.asarray(stream.counts)
-    columns = batch_hash_columns(sketch.buckets, items)
-    signs = _batch_signs(sketch.signs, items)
-    for row in range(sketch.depth):
-        _ingest_row_groups(
-            sketch,
-            row,
-            columns,
-            times,
-            signs[:, row] * counts,
-            lambda: PWCTracker(delta=sketch.delta, initial_value=0.0),
-        )
-    sketch.total += int(counts.sum())
-    sketch._clock = int(times[-1])
-
-
-def _ingest_sample_ams(sketch: PersistentAMS, stream: Stream) -> None:
-    _validate(sketch, stream)
-    n = len(stream)
-    if n == 0:
-        return
-    items = np.asarray(stream.items)
-    times = np.asarray(stream.times)
-    counts = np.asarray(stream.counts)
-    magnitudes = np.abs(counts)
-    active = magnitudes > 0
-    columns = batch_hash_columns(sketch.buckets, items)
-    signs = _batch_signs(sketch.signs, items)
-    # Deterministic given the sketch's own sampling RNG (which is
-    # advanced so that successive batches differ, as sequential offers
-    # would).
-    rng = np.random.default_rng(sketch._rng.getrandbits(63))
-    probability = sketch.probability
-
-    for row in range(sketch.depth):
-        effective = signs[:, row] * counts
-        b_flags = (effective > 0).astype(np.int64)
-        # Group by (column, component): component streams are
-        # independent monotone counters.  Zero-count updates sort to the
-        # front under key -1 and are skipped.
-        keys = np.where(active, columns[:, row] * 2 + b_flags, -1)
-        order = np.argsort(keys, kind="stable")
-        sorted_keys = keys[order]
-        sorted_mags = magnitudes[order]
-        sorted_times = times[order]
-        components = sketch._components[row]
-
-        slices = [
-            (lo, hi)
-            for lo, hi in _group_slices(sorted_keys)
-            if sorted_keys[lo] >= 0
-        ]
-        if not slices:
-            continue
-        # Component values after every update, one global cumsum.
-        csum = np.cumsum(sorted_mags)
-        prev = np.concatenate(([0], csum[:-1]))
-        starts = np.array([lo for lo, _hi in slices], dtype=np.int64)
-        sizes = np.array([hi - lo for lo, hi in slices], dtype=np.int64)
-        bases = np.array(
-            [
-                components[int(sorted_keys[lo]) // 2][
-                    int(sorted_keys[lo]) % 2
-                ]
-                for lo, _hi in slices
-            ],
-            dtype=np.int64,
-        )
-        values = csum.copy()
-        first = slices[0][0]
-        values[first:] += np.repeat(bases - prev[starts], sizes)
-
-        live = sorted_keys >= 0
-        for copy in range(sketch.copies):
-            # One Bernoulli draw per offer, then touch only samples.
-            sampled = np.flatnonzero(live & (rng.random(n) < probability))
-            for pos in sampled.tolist():
-                key = int(sorted_keys[pos])
-                col, b = key // 2, key % 2
-                lists = sketch._histories[row][b][copy]
-                history = lists.get(col)
-                if history is None:
-                    history = SampledHistoryList(
-                        probability=probability, rng=sketch._rng
-                    )
-                    lists[col] = history
-                history.force_sample(
-                    int(sorted_times[pos]), int(values[pos])
-                )
-        for lo, hi in slices:
-            key = int(sorted_keys[lo])
-            components[key // 2][key % 2] = int(values[hi - 1])
-
-    sketch.total += int(counts.sum())
-    sketch._clock = int(times[-1])
+    sketch.ingest_batch(stream.times, stream.items, stream.counts)

@@ -1,22 +1,24 @@
 """WAL-tail replay into a :class:`~repro.store.SketchStore`.
 
-Recovery correctness demands *sequential* application: the sampled AMS
-sketch draws from its serialized RNG state in offer order, so replaying
-the WAL tail record-by-record reproduces the exact random choices an
-uninterrupted run would have made (bit-identical recovery).  The
-vectorized batch engine deliberately is not used here — its AMS path is
-only distribution-equivalent, which would break the recovery twin test.
-
-What this module does optimize is dispatch: WAL tails are bursty (long
-runs of records for one stream), so records are grouped into contiguous
-same-stream runs and each run resolves the stream's sketch set once,
-instead of one dict lookup per record through the store facade.
+Recovery must reproduce the exact state an uninterrupted run would
+have: the sampled AMS sketch draws from its serialized RNG state in
+offer order, so replay order matters bit-for-bit.  Since the columnar
+batch planners became bit-identical to scalar ingestion for every
+sketch type — including the sampled AMS, whose batch path pre-draws its
+Bernoulli acceptances from the same seeded generator in scalar order —
+replay applies each contiguous same-stream run through
+:meth:`~repro.store.store.SketchStore.update_batch` and stays exactly
+as deterministic as the record-by-record walk it replaces, at columnar
+speed.  WAL tails are bursty (long runs of records for one stream), so
+the grouping also amortizes the per-record facade dispatch.
 """
 
 from __future__ import annotations
 
 from itertools import groupby
 from typing import Any, Iterable
+
+import numpy as np
 
 from repro.store.store import SketchStore
 
@@ -29,23 +31,15 @@ def replay_records(
     Records are dicts with ``stream``, ``item``, ``count`` and a
     *resolved* ``time`` (the runtime resolves auto-ticks before the WAL
     append, so replay never re-derives timestamps).  Timestamp
-    monotonicity is still enforced by the sketches themselves — a WAL
-    that violates it is corrupt and the error should surface.
+    monotonicity is still enforced by the sketches' batch validation — a
+    WAL that violates it is corrupt and the error should surface.
     """
     applied = 0
-    for name, run in groupby(records, key=lambda record: record["stream"]):
-        state = store._state(name)
-        point_sketch = state.point_sketch
-        hh_sketch = state.hh_sketch
-        join_sketch = state.join_sketch
-        for record in run:
-            item = int(record["item"])
-            count = int(record["count"])
-            time = int(record["time"])
-            point_sketch.update(item, count, time)
-            if hh_sketch is not None:
-                hh_sketch.update(item, count, time)
-            if join_sketch is not None:
-                join_sketch.update(item, count, time)
-            applied += 1
+    for name, run_iter in groupby(records, key=lambda record: record["stream"]):
+        run = list(run_iter)
+        times = np.array([record["time"] for record in run], dtype=np.int64)
+        items = np.array([record["item"] for record in run], dtype=np.int64)
+        counts = np.array([record["count"] for record in run], dtype=np.int64)
+        store.update_batch(name, times, items, counts)
+        applied += len(run)
     return applied

@@ -23,6 +23,11 @@ MERSENNE_PRIME = (1 << 61) - 1
 
 _MASK61 = MERSENNE_PRIME
 
+# uint64 limb constants for the vectorized field arithmetic below.
+_U64_MASK61 = np.uint64(_MASK61)
+_U64_MASK32 = np.uint64((1 << 32) - 1)
+_U64_MASK29 = np.uint64((1 << 29) - 1)
+
 
 def mod_mersenne(x: int) -> int:
     """Reduce a non-negative integer modulo ``2^61 - 1`` without division.
@@ -35,6 +40,43 @@ def mod_mersenne(x: int) -> int:
     if x == _MASK61:
         return 0
     return x
+
+
+def fold_mersenne_many(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mod_mersenne` for uint64 arrays below ``2^64``.
+
+    Two shift-and-mask folds bring any uint64 value to at most ``p``;
+    the final ``where`` maps ``p`` itself to 0, matching the scalar
+    reduction exactly.
+    """
+    x = (x >> np.uint64(61)) + (x & _U64_MASK61)
+    x = (x >> np.uint64(61)) + (x & _U64_MASK61)
+    return np.where(x >= _U64_MASK61, x - _U64_MASK61, x)
+
+
+def mulmod_mersenne_many(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact ``(a * b) mod p`` for uint64 arrays of field residues.
+
+    Splits each operand into 32-bit limbs so every partial product fits
+    in uint64, then folds the 128-bit product down using ``2^61 = 1`` and
+    ``2^64 = 8 (mod p)``.  The five reduced terms sum to under ``2^63``,
+    so :func:`fold_mersenne_many` finishes the reduction exactly.
+    """
+    a_hi = a >> np.uint64(32)
+    a_lo = a & _U64_MASK32
+    b_hi = b >> np.uint64(32)
+    b_lo = b & _U64_MASK32
+    hi = a_hi * b_hi  # < 2^58
+    mid = a_hi * b_lo + a_lo * b_hi  # < 2^62
+    lo = a_lo * b_lo  # full uint64 product, no wrap
+    acc = (
+        (hi << np.uint64(3))  # hi * 2^64 = hi * 8 (mod p)
+        + (mid >> np.uint64(29))  # mid * 2^32 folded across bit 61
+        + ((mid & _U64_MASK29) << np.uint64(32))
+        + (lo >> np.uint64(61))
+        + (lo & _U64_MASK61)
+    )
+    return fold_mersenne_many(acc)
 
 
 class PolynomialHash:
@@ -72,19 +114,32 @@ class PolynomialHash:
             acc = mod_mersenne(acc * x + c)
         return acc
 
-    def hash_array(self, xs: Sequence[int] | np.ndarray) -> np.ndarray:
-        """Vectorized evaluation; returns an ``object``-free uint64 array.
+    def eval_many(self, xs: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`__call__`: evaluate at every element of ``xs``.
 
-        Uses Python-int Horner per element when inputs may overflow uint64
-        products; for the typical case (universe < 2^32) evaluates with
-        ``object`` dtype only transiently.  Exactness is preserved.
+        Exact 61-bit field arithmetic in uint64 limbs — bit-identical to
+        the scalar Horner loop for any non-negative inputs below ``2^64``
+        (inputs are reduced mod p first; polynomial evaluation commutes
+        with the reduction).  Falls back to the scalar path for inputs
+        that do not fit uint64.
         """
-        arr = np.asarray(xs, dtype=object)
-        acc = np.zeros(len(arr), dtype=object)
-        for c in reversed(self.coefficients):
-            acc = acc * arr + c
-            acc = np.frompyfunc(mod_mersenne, 1, 1)(acc)
-        return acc.astype(np.uint64)
+        arr = np.asarray(xs)
+        if arr.dtype.kind not in "iu":
+            return np.array(
+                [self(int(x)) for x in arr.tolist()], dtype=np.uint64
+            )
+        if arr.dtype.kind == "i" and arr.size and int(arr.min()) < 0:
+            raise ValueError("hash inputs must be non-negative")
+        x = fold_mersenne_many(arr.astype(np.uint64))
+        acc = np.full(x.shape, np.uint64(self.coefficients[-1]))
+        for c in reversed(self.coefficients[:-1]):
+            acc = mulmod_mersenne_many(acc, x) + np.uint64(c)
+            acc = fold_mersenne_many(acc)
+        return acc
+
+    def hash_array(self, xs: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized evaluation; alias of :meth:`eval_many`."""
+        return self.eval_many(xs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PolynomialHash(degree={len(self.coefficients)})"

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hashing.carter_wegman import PolynomialHash, polynomial_hashes
 
 
@@ -70,6 +72,20 @@ class BucketHashFamily:
         """Column index of ``item`` in row ``row``."""
         return self.buckets(item)[row]
 
+    def buckets_many(self, items: np.ndarray) -> np.ndarray:
+        """Column indices for a column of items: shape ``(d, n)`` int64.
+
+        Row ``r`` equals ``[self.buckets(x)[r] for x in items]`` exactly
+        (vectorized Carter-Wegman evaluation is bit-identical to the
+        scalar path).
+        """
+        items = np.asarray(items)
+        out = np.empty((self.depth, items.shape[0]), dtype=np.int64)
+        width = np.uint64(self.width)
+        for row, h in enumerate(self._hashes):
+            out[row] = (h.eval_many(items) % width).astype(np.int64)
+        return out
+
 
 class SignHashFamily:
     """``d`` 4-wise independent sign hashes ``[n] -> {-1, +1}``.
@@ -100,6 +116,15 @@ class SignHashFamily:
         """Sign of ``item`` in row ``row``."""
         return self.signs(item)[row]
 
+    def signs_many(self, items: np.ndarray) -> np.ndarray:
+        """Signs for a column of items: shape ``(d, n)`` int64 of +/-1."""
+        items = np.asarray(items)
+        out = np.empty((self.depth, items.shape[0]), dtype=np.int64)
+        for row, h in enumerate(self._hashes):
+            low_bits = (h.eval_many(items) & np.uint64(1)).astype(np.int64)
+            out[row] = 1 - 2 * low_bits
+        return out
+
 
 class IdentityHashFamily:
     """Degenerate bucket family: item ``i`` maps to column ``i`` in every row.
@@ -129,6 +154,17 @@ class IdentityHashFamily:
     def bucket(self, row: int, item: int) -> int:
         """Column of ``item`` in row ``row``."""
         return self.buckets(item)[row]
+
+    def buckets_many(self, items: np.ndarray) -> np.ndarray:
+        """Columns for a column of items: shape ``(d, n)`` int64."""
+        arr = np.asarray(items, dtype=np.int64)
+        bad = (arr < 0) | (arr >= self.width)
+        if bad.any():
+            offender = int(arr[int(np.argmax(bad))])
+            raise ValueError(
+                f"item {offender} outside identity range [0, {self.width})"
+            )
+        return np.tile(arr, (self.depth, 1))
 
 
 def make_bucket_family(width: int, depth: int, seed: int = 0) -> BucketHashFamily:

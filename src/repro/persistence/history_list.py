@@ -18,6 +18,7 @@ deterministic baselines' bias gets amplified.
 from __future__ import annotations
 
 from bisect import bisect_right
+from collections.abc import Sequence
 from random import Random
 
 import numpy as np
@@ -81,6 +82,29 @@ class SampledHistoryList:
         """Record unconditionally (used by tests and epoch bootstrapping)."""
         self._times.append(t)
         self._values.append(value)
+
+    def extend(self, times: Sequence[int], values: Sequence[int]) -> None:
+        """Append pre-accepted samples in time order (batch ingest path).
+
+        The caller has already run the Bernoulli acceptance draws against
+        the shared RNG (see :func:`repro.persistence.sampling.bulk_uniforms`),
+        so this appends in bulk.  Under contract enforcement the appended
+        times are validated against the stored records — the batch planner
+        additionally validates the full offer sequence up front.
+        """
+        if not len(times):
+            return
+        if contracts.ENABLED:
+            prev = self._times[-1] if self._times else None
+            for t in times:
+                if prev is not None and t <= prev:
+                    raise contracts.ContractViolation(
+                        "history-list batch append times must be strictly "
+                        f"increasing: {t} <= {prev}"
+                    )
+                prev = t
+        self._times.extend(times)
+        self._values.extend(values)
 
     def estimate_at(self, t: float) -> float:
         """Unbiased compensated estimate of the component value at ``t``."""

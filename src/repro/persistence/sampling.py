@@ -1,0 +1,40 @@
+"""Bulk uniform draws, bit-compatible with ``random.Random.random()``.
+
+The sampled-AMS batch ingest path must accept exactly the same offers as
+a scalar loop would, which means consuming exactly the same pseudo-random
+numbers in exactly the same order.  Both CPython's ``random.Random`` and
+numpy's legacy ``RandomState`` generator sit on the same Mersenne-Twister
+core and derive each double identically from two consecutive 32-bit
+outputs (``(a >> 5) * 2^26 + (b >> 6)) / 2^53``), so a block of draws can
+be produced vectorized by transplanting the state into numpy, drawing,
+and writing the advanced state back.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+
+
+def bulk_uniforms(rng: Random, n: int) -> np.ndarray:
+    """Draw ``n`` uniforms exactly as ``[rng.random() for _ in range(n)]``.
+
+    Returns a float64 array bit-equal to the scalar draws and leaves
+    ``rng`` in exactly the state the scalar loop would have left it, so
+    scalar and batch consumers can interleave freely.  Falls back to the
+    scalar loop if the interpreter's state layout is unrecognized.
+    """
+    if n <= 0:
+        return np.empty(0, dtype=np.float64)
+    state = rng.getstate()
+    if state[0] != 3 or len(state[1]) != 625:
+        return np.array([rng.random() for _ in range(n)], dtype=np.float64)
+    key, pos = state[1][:624], state[1][624]
+    np_rng = np.random.RandomState()  # sketchlint: disable=SL001 — state is transplanted from the caller's seeded Random, not ambient entropy
+    np_rng.set_state(("MT19937", np.array(key, dtype=np.uint32), pos))
+    out = np_rng.random_sample(n)
+    end_state = np_rng.get_state(legacy=True)
+    key_out = tuple(int(word) for word in end_state[1])
+    rng.setstate((3, key_out + (int(end_state[2]),), state[2]))
+    return out

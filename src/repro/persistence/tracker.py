@@ -9,6 +9,7 @@ abstracts that choice so a single persistent-sketch wrapper
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -22,6 +23,21 @@ class CounterTracker(ABC):
     @abstractmethod
     def feed(self, t: int, value: float) -> None:
         """Observe the counter's new value at time ``t``."""
+
+    def feed_many(self, times: Sequence[int], values: Sequence[float]) -> None:
+        """Batch :meth:`feed`: observe many time-ordered ``(t, value)`` pairs.
+
+        Bit-identical to the scalar loop by definition; concrete trackers
+        override with fused implementations.  Numpy columns are converted
+        to Python scalars first so the recorded state never holds numpy
+        scalar types.
+        """
+        if isinstance(times, np.ndarray):
+            times = times.tolist()
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        for t, value in zip(times, values):
+            self.feed(t, value)
 
     @abstractmethod
     def value_at(self, t: float) -> float:
@@ -67,6 +83,9 @@ class PLATracker(CounterTracker):
     def feed(self, t: int, value: float) -> None:  # sketchlint: disable=SL008 — OnlinePLA.feed guards monotonicity
         self._pla.feed(t, value)
 
+    def feed_many(self, times: Sequence[int], values: Sequence[float]) -> None:
+        self._pla.feed_many(times, values)
+
     def value_at(self, t: float) -> float:
         return self._pla.value_at(t)
 
@@ -107,6 +126,9 @@ class PWCTracker(CounterTracker):
 
     def feed(self, t: int, value: float) -> None:  # sketchlint: disable=SL008 — OnlinePWC.feed guards monotonicity
         self._pwc.feed(t, value)
+
+    def feed_many(self, times: Sequence[int], values: Sequence[float]) -> None:
+        self._pwc.feed_many(times, values)
 
     def value_at(self, t: float) -> float:
         return self._pwc.value_at(t)

@@ -26,7 +26,10 @@ float precision does not degrade with stream position.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import Callable
+
+import numpy as np
 
 from repro.analysis import contracts
 from repro.pla.piecewise import PiecewiseLinearFunction
@@ -35,6 +38,33 @@ from repro.pla.segment import Segment
 # Tolerance for feasibility comparisons.  Inputs are integer counters and
 # timestamps, so any violation smaller than this is floating-point noise.
 _EPS = 1e-9
+
+#: Minimum batch length for the fused (vectorized) feed path; below this
+#: the numpy setup costs more than the scalar loop it replaces.
+_FUSED_MIN = 16
+
+#: Slack added to the vectorized event-candidate masks.  The masks only
+#: need to be a *superset* of the true tighten/break positions (each
+#: candidate is then re-checked with the exact scalar float expressions),
+#: so the slack just has to dominate the float rounding between the
+#: transformed per-point thresholds and the scalar conditions — 1e-7
+#: relative is orders of magnitude above both the 1e-9 feasibility EPS
+#: band and the ~1e-16 relative rounding of the inputs.
+_MASK_SLACK = 1e-7
+
+#: Iteration cap for the parallel-deletion hull passes; reaching it falls
+#: back to the sequential pop rule (identical result, just slower).
+_CHAIN_PASSES = 48
+
+#: Initial fused working-window length.  Each break/fallback abandons the
+#: window's precomputed arrays, so windows start small (bounding the
+#: waste per event) and grow geometrically while the run stays quiet.
+_FUSED_WINDOW = 1024
+_FUSED_GROWTH = 8
+
+#: Below this many points the sequential pop rule beats the parallel
+#: hull-deletion passes (numpy call overhead dominates tiny arrays).
+_CHAIN_MIN = 48
 
 
 def _cross(ox: float, oy: float, px: float, py: float, qx: float, qy: float) -> float:
@@ -174,15 +204,243 @@ class OnlinePLA:
         self._last_x = x
         self._count += 1
 
-    def feed_many(self, times: list[int], values: list[float]) -> None:
+    def feed_many(
+        self,
+        times: Sequence[int] | np.ndarray,
+        values: Sequence[float] | np.ndarray,
+    ) -> None:
         """Feed a whole time-ordered run of points.
 
         Semantically identical to calling :meth:`feed` per point; exists
-        because the bulk-ingest engine spends most of its time here and
-        a fused loop avoids per-call overhead.
+        because the bulk-ingest engine spends most of its time here.  For
+        integer-valued numpy columns (the batch planner's native format)
+        a vectorized path handles the run in bulk — bit-identical to the
+        scalar loop (see :meth:`_feed_fused`); anything else falls back
+        to per-point feeding.
         """
+        if (
+            self._run_points is None
+            and isinstance(times, np.ndarray)
+            and isinstance(values, np.ndarray)
+            and len(times) >= _FUSED_MIN
+            and self._feed_fused(times, values)
+        ):
+            return
+        if isinstance(times, np.ndarray):
+            times = times.tolist()
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
         for t, v in zip(times, values):
             self.feed(t, v)
+
+    def _feed_fused(self, t_arr: np.ndarray, v_arr: np.ndarray) -> bool:
+        """Vectorized :meth:`feed_many`, bit-identical to the scalar loop.
+
+        Exactness argument.  Within a run, the supporting lines change
+        only at *tighten* events, and between events every point is a
+        pure hull append.  With the tangent anchor ``(ax, ay)`` fixed
+        (pointer advances are validated per event, see below), the
+        tighten-``u`` condition ``s*x + icept > b + EPS`` is equivalent
+        to ``s > tau_j`` with ``tau_j = (b_j + EPS - ay)/(x_j - ax)``,
+        and since every tighten replaces ``s`` by a value *below* its own
+        threshold, each event position is a strict running minimum of
+        ``tau`` (mirrored for ``l`` with a running maximum).  A break
+        requires the corridor to collapse, which implies the *opposite*
+        side's tighten condition, so breaks are records too.  Numpy
+        extracts the record positions in one pass; a scalar walk then
+        re-checks each candidate with the exact float expressions the
+        scalar path uses and updates the lines — non-candidates are
+        provably pure appends.  Hulls are reconstructed in bulk at the
+        end of the run segment (the pop rule's result is canonical for
+        sorted points), which is valid because cross products of
+        integer-valued coordinates below the guarded magnitude are exact
+        in float64 — the entry checks refuse anything else.
+
+        Tangent-pointer advances cannot be ruled out from the chain
+        alone, so each tighten is pre-checked against the running
+        extreme of the anchor-to-point slopes (the true tangent walk
+        only advances when some hull point beats the anchor, and the
+        extreme slope over *all* points is attained on the hull); a
+        near-miss materializes the hulls and lets scalar :meth:`feed`
+        run the real walk for that one point.
+
+        Returns False — with the sketch state untouched — when the
+        preconditions don't hold and the caller must use the scalar
+        loop (non-integer data, magnitude overflow, or non-monotone
+        times, which the scalar loop rejects with the exact error).
+        """
+        n = len(t_arr)
+        if (
+            n != len(v_arr)
+            or t_arr.dtype.kind not in "iu"
+            or v_arr.dtype.kind not in "iu"
+            or not self.delta.is_integer()
+        ):
+            return False
+        if self._count > 0 and not int(t_arr[0]) > self._t0 + self._last_x:
+            return False
+        if n > 1 and not bool(np.all(np.diff(t_arr) > 0)):
+            return False
+        # Exact-cross-product guard: every |dx * dy| must stay below
+        # 2**53 so the bulk hull predicates round identically to the
+        # scalar ones (they are then all exact integers).
+        x_lim = float(int(t_arr[-1]) - (self._t0 if self._count else int(t_arr[0]))) + 2.0
+        y_lim = float(np.max(np.abs(v_arr))) + self.delta + 2.0
+        for hull in (self._hull_a, self._hull_b):
+            for _hx, hy in hull:
+                y_lim = max(y_lim, abs(hy) + 2.0)
+        if x_lim * 2.0 * y_lim >= 2.0**52:
+            return False
+        # Grow the working window geometrically and shrink it back after
+        # every break/fallback: an event restarts the vectorized scan
+        # (the tangent anchor moved), so unbounded windows would redo
+        # O(remaining) numpy work per event.
+        pos = 0
+        limit = _FUSED_WINDOW
+        while pos < n:
+            if self._count < 2:
+                self.feed(t_arr[pos].item(), v_arr[pos].item())
+                pos += 1
+                continue
+            end, clean = self._fused_segment(
+                t_arr, v_arr, pos, min(limit, n - pos)
+            )
+            limit = limit * _FUSED_GROWTH if clean else _FUSED_WINDOW
+            pos = end
+        return True
+
+    def _fused_segment(
+        self, t_arr: np.ndarray, v_arr: np.ndarray, pos: int, limit: int
+    ) -> tuple[int, bool]:
+        """Process up to ``limit`` points of ``t_arr[pos:]`` in bulk.
+
+        Returns ``(next_pos, clean)`` where ``clean`` is False when the
+        window stopped early on a break or a tangent-walk fallback.
+        Requires ``self._count >= 2``.
+        """
+        x = (t_arr[pos : pos + limit] - self._t0).astype(np.float64)
+        v = v_arr[pos : pos + limit].astype(np.float64)
+        a = v - self.delta
+        b = v + self.delta
+        ax, ay = self._hull_a[self._start_a]
+        bx, by = self._hull_b[self._start_b]
+        dxa = x - ax
+        dxb = x - bx
+        # Event-candidate masks: strict running-min records of the
+        # tighten-u thresholds (mirrored for l), slack-padded so float
+        # rounding can never hide a true event (see _feed_fused).
+        tau_u = (b + _EPS - ay) / dxa
+        tau_l = (a - _EPS - by) / dxb
+        su = self._u_slope
+        iu = self._u_icept
+        sl = self._l_slope
+        il = self._l_icept
+        prev_min = np.minimum.accumulate(np.concatenate(([su], tau_u[:-1])))
+        prev_max = np.maximum.accumulate(np.concatenate(([sl], tau_l[:-1])))
+        records = (tau_u < prev_min + _MASK_SLACK * (1.0 + np.abs(tau_u))) | (
+            tau_l > prev_max - _MASK_SLACK * (1.0 + np.abs(tau_l))
+        )
+        # Anchor-to-point slopes: their running extremes bound what the
+        # tangent walk could find, proving "no pointer advance" cheaply.
+        # Seeding the accumulate with the existing hull's extreme makes
+        # ``cg[j]`` the bound over everything strictly before point j.
+        g0 = max(
+            ((hy - ay) / (hx - ax) for hx, hy in self._hull_a[self._start_a + 1 :]),
+            default=float("-inf"),
+        )
+        h0 = min(
+            ((hy - by) / (hx - bx) for hx, hy in self._hull_b[self._start_b + 1 :]),
+            default=float("inf"),
+        )
+        cg = np.maximum.accumulate(np.concatenate(([g0], (a - ay) / dxa)))
+        ch = np.minimum.accumulate(np.concatenate(([h0], (b - by) / dxb)))
+        madv = _MASK_SLACK + 2.2e-13 * float(x[-1])
+        broke = False
+        fallback = False
+        stop = len(x)
+        recs = np.flatnonzero(records)
+        xl = x[recs].tolist()
+        al = a[recs].tolist()
+        bl = b[recs].tolist()
+        cgl = cg[recs].tolist()
+        chl = ch[recs].tolist()
+        for k, j in enumerate(recs.tolist()):
+            xj = xl[k]
+            aj = al[k]
+            bj = bl[k]
+            uj = su * xj + iu
+            lj = sl * xj + il
+            if uj < aj - _EPS or lj > bj + _EPS:
+                broke = True
+                stop = j
+                break
+            if uj > bj + _EPS:
+                sig = (bj - ay) / (xj - ax)
+                if cgl[k] > sig - madv * (1.0 + abs(sig)):
+                    fallback = True
+                    stop = j
+                    break
+                su = sig
+                iu = ay - su * ax
+            if lj < aj - _EPS:
+                sig = (aj - by) / (xj - bx)
+                if chl[k] < sig + madv * (1.0 + abs(sig)):
+                    fallback = True
+                    stop = j
+                    break
+                sl = sig
+                il = by - sl * bx
+        self._u_slope = su
+        self._u_icept = iu
+        self._l_slope = sl
+        self._l_icept = il
+        if stop > 0:
+            self._last_x = float(x[stop - 1])
+            self._count += stop
+        if broke:
+            # The pre-break points only matter through count/last_x and
+            # the supporting lines (the reset wipes the hulls anyway).
+            self._emit_segment()
+            self._reset_run()
+        else:
+            self._bulk_append_hulls(x, a, b, stop)
+        if broke or fallback:
+            # Scalar feed replays the stopping point exactly: a break
+            # begins the next run; a fallback runs the real tangent
+            # walk against the freshly materialized hulls.
+            self.feed(t_arr[pos + stop].item(), v_arr[pos + stop].item())
+            return pos + stop + 1, False
+        return pos + stop, True
+
+    def _bulk_append_hulls(
+        self, x: np.ndarray, a: np.ndarray, b: np.ndarray, upto: int
+    ) -> None:
+        """Append ``upto`` points to both hulls in bulk.
+
+        Equivalent to ``upto`` sequential ``_append_hull_*`` calls: the
+        incremental pop rule computes the strict upper (lower) hull of
+        the sorted chain seeded at the frozen tangent anchor, and with
+        exact cross products that result is canonical, so it can be
+        recomputed from the anchor's suffix plus the new points.
+        """
+        if upto <= 0:
+            return
+        for hull, start, ys, upper in (
+            (self._hull_a, self._start_a, a, True),
+            (self._hull_b, self._start_b, b, False),
+        ):
+            seed = hull[start:]
+            xs_full = np.concatenate(
+                ([p[0] for p in seed], x[:upto])
+            )
+            ys_full = np.concatenate(
+                ([p[1] for p in seed], ys[:upto])
+            )
+            chain = _bulk_chain(xs_full, ys_full, upper)
+            if upper:
+                self._hull_a = hull[:start] + chain
+            else:
+                self._hull_b = hull[:start] + chain
 
     def finalize(self) -> PiecewiseLinearFunction:
         """Emit the pending segment (if any) and return the PLA function.
@@ -312,6 +570,71 @@ class OnlinePLA:
         ):
             hull.pop()
         hull.append((x, y))
+
+
+def _bulk_chain(
+    xs: np.ndarray, ys: np.ndarray, upper: bool
+) -> list[tuple[float, float]]:
+    """Strict upper (lower) hull of sorted points, as the pop rule builds it.
+
+    Parallel deletion: every interior point whose cross product against
+    its current neighbours fails the keep rule is dropped, repeatedly,
+    until the chain is strictly convex.  With exact cross products this
+    fixed point is unique and equals the sequential pop rule's result:
+    true hull vertices are above (below) the chord of *any* flanking
+    pair, so no pass ever deletes one, and a surviving non-vertex would
+    poke through a hull edge.  The first point (the frozen tangent
+    anchor) and the last are never deleted, matching the
+    ``len(hull) - start >= 2`` guard of the scalar appends.
+
+    A chord prefilter runs first: interior points on or below (above)
+    the first-to-last chord can never be strict upper (lower) hull
+    vertices, and one vectorized orientation test deletes them all.
+    """
+    if len(xs) > _CHAIN_MIN:
+        dx = xs[-1] - xs[0]
+        dy = ys[-1] - ys[0]
+        side = dx * (ys[1:-1] - ys[0]) - dy * (xs[1:-1] - xs[0])
+        good = np.flatnonzero(side > 0.0 if upper else side < 0.0) + 1
+        if len(good) < len(xs) - 2:
+            xs = np.concatenate((xs[:1], xs[good], xs[-1:]))
+            ys = np.concatenate((ys[:1], ys[good], ys[-1:]))
+    if len(xs) <= _CHAIN_MIN:
+        return _sequential_chain(xs.tolist(), ys.tolist(), upper)
+    for _ in range(_CHAIN_PASSES):
+        m = len(xs)
+        if m <= _CHAIN_MIN:
+            return _sequential_chain(xs.tolist(), ys.tolist(), upper)
+        cross = (xs[1:-1] - xs[:-2]) * (ys[2:] - ys[:-2]) - (
+            ys[1:-1] - ys[:-2]
+        ) * (xs[2:] - xs[:-2])
+        good = np.flatnonzero(cross < 0.0 if upper else cross > 0.0)
+        if len(good) == m - 2:
+            break
+        good += 1
+        xs = np.concatenate((xs[:1], xs[good], xs[-1:]))
+        ys = np.concatenate((ys[:1], ys[good], ys[-1:]))
+    else:
+        return _sequential_chain(xs.tolist(), ys.tolist(), upper)
+    return list(zip(xs.tolist(), ys.tolist()))
+
+
+def _sequential_chain(
+    xs: list[float], ys: list[float], upper: bool
+) -> list[tuple[float, float]]:
+    """Sequential fallback for :func:`_bulk_chain` (identical pop rule)."""
+    chain: list[tuple[float, float]] = []
+    for x, y in zip(xs, ys):
+        while len(chain) >= 2:
+            ox, oy = chain[-2]
+            px, py = chain[-1]
+            c = (px - ox) * (y - oy) - (py - oy) * (x - ox)
+            if (c >= 0) if upper else (c <= 0):
+                chain.pop()
+            else:
+                break
+        chain.append((x, y))
+    return chain
 
 
 def _tangent_min_slope(

@@ -10,6 +10,7 @@ predecessor read), which is within ``delta`` of the true counter value.
 from __future__ import annotations
 
 from bisect import bisect_right
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -99,6 +100,35 @@ class OnlinePWC:
         if abs(value - self._last_recorded) > self.delta:
             self.function.append(t, value)
             self._last_recorded = value
+
+    def feed_many(
+        self, times: Sequence[int], values: Sequence[float]
+    ) -> None:
+        """Batch :meth:`feed`: observe many ``(t, value)`` pairs at once.
+
+        Bit-identical to the scalar loop.  Under contract enforcement the
+        scalar path is kept so ``@monotone_timestamps`` state advances per
+        observation; otherwise a fused drift walk skips the per-record
+        call overhead (the recorded function still validates ordering).
+        Numpy columns are converted to Python scalars first so the
+        recorded pairs never hold numpy scalar types.
+        """
+        if isinstance(times, np.ndarray):
+            times = times.tolist()
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        if contracts.ENABLED:
+            for t, value in zip(times, values):
+                self.feed(t, value)
+            return
+        delta = self.delta
+        last = self._last_recorded
+        append = self.function.append
+        for t, value in zip(times, values):
+            if abs(value - last) > delta:
+                append(t, value)
+                last = value
+        self._last_recorded = last
 
     def value_at(self, t: float) -> float:
         """Approximate counter value at time ``t``."""

@@ -89,6 +89,23 @@ class FaultPlan:
                 "reached the WAL"
             )
 
+    def after_batch_durable(self, first_record: int) -> None:
+        """Batch analogue of :meth:`after_record_durable`.
+
+        A batch becomes durable at its single trailing fsync, so a
+        post-durability crash scripted for *any* record of the batch
+        fires there — records after the scripted ordinal are already in
+        the WAL (and will be replayed), which is the semantic difference
+        batch framing introduces.
+        """
+        if self.crash_after_record is None:
+            return
+        if first_record <= self.crash_after_record <= self.records_seen:
+            raise SimulatedCrash(
+                f"scripted crash after record {self.crash_after_record} "
+                "reached the WAL (batch fsync)"
+            )
+
     # ------------------------------------------------------------------ #
     # Checkpoint-path hooks
     # ------------------------------------------------------------------ #

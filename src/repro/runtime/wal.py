@@ -121,6 +121,49 @@ class WriteAheadLog:
         self.next_seq = seq + 1
         return seq
 
+    def append_many(self, records: list[dict[str, Any]]) -> list[int]:
+        """Durably append a batch of records with ONE flush + fsync.
+
+        Framing stays record-granular — one CRC'd line per record,
+        byte-identical to what :meth:`append` writes — so replay and
+        torn-tail repair are unchanged.  Scripted faults keep their
+        per-record ordinals: a crash or torn write at the k-th record
+        first makes the batch's earlier complete lines durable, which is
+        exactly the prefix a real crash mid-batch could leave on disk
+        (none of the batch was acknowledged, so recovery replaying that
+        prefix is still exactly-once).
+        """
+        if not records:
+            return []
+        handle = self._active_handle()
+        seqs: list[int] = []
+        seq = self.next_seq
+        for record in records:
+            line = _encode_line({"seq": seq, **record})
+            if self.faults is not None:
+                try:
+                    self.faults.next_record()
+                except SimulatedCrash:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    self.next_seq = seq
+                    raise
+                if self.faults.tear_this_record():
+                    handle.write(line[: max(1, len(line) // 2)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    self.next_seq = seq
+                    raise SimulatedCrash(
+                        f"scripted torn WAL write at seq {seq}"
+                    )
+            handle.write(line)
+            seqs.append(seq)
+            seq += 1
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.next_seq = seq
+        return seqs
+
     def rotate(self) -> None:
         """Seal the active segment; the next append opens a new one."""
         if self._handle is not None:

@@ -70,6 +70,23 @@ class AMSSketch:
             counters[row, cols[row]] += sgns[row] * count
         self.total += count
 
+    def update_many(
+        self, items: np.ndarray, counts: np.ndarray | None = None
+    ) -> None:
+        """Vectorized :meth:`update`: apply a column of items at once."""
+        items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            return
+        if counts is None:
+            counts = np.ones(items.shape[0], dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+        columns = self.buckets.buckets_many(items)
+        sgns = self.signs.signs_many(items)
+        for row in range(self.depth):
+            np.add.at(self.counters[row], columns[row], sgns[row] * counts)
+        self.total += int(counts.sum())
+
     def point(self, item: int) -> float:
         """Point estimate: median over rows of ``sign * counter``."""
         counters = self.counters

@@ -68,26 +68,42 @@ class CountMinSketch:
     def update(self, item: int, count: int = 1) -> None:
         """Add ``count`` occurrences of ``item`` (negative in turnstile mode)."""
         counters = self.counters
-        for row, col in enumerate(self.hashes.buckets(item)):
+        for row, col in enumerate(self.hashes.buckets(item)):  # sketchlint: disable=SL010 — scalar reference
             counters[row, col] += count
         self.total += count
+
+    def update_many(
+        self, items: np.ndarray, counts: np.ndarray | None = None
+    ) -> None:
+        """Vectorized :meth:`update`: apply a column of items at once.
+
+        Bit-identical to a loop of scalar updates (integer counters are
+        order-independent).  ``counts`` defaults to all-ones.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            return
+        if counts is None:
+            counts = np.ones(items.shape[0], dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+        columns = self.hashes.buckets_many(items)
+        for row in range(self.depth):
+            np.add.at(self.counters[row], columns[row], counts)
+        self.total += int(counts.sum())
 
     def point(self, item: int) -> int:
         """Cash-register point estimate: the row minimum (never underestimates)."""
         counters = self.counters
-        return int(
-            min(
-                counters[row, col]
-                for row, col in enumerate(self.hashes.buckets(item))
-            )
-        )
+        cols = self.hashes.buckets(item)
+        return int(min(counters[row, col] for row, col in enumerate(cols)))
 
     def point_median(self, item: int) -> float:
         """Turnstile point estimate: the row median (two-sided error)."""
         counters = self.counters
+        cols = self.hashes.buckets(item)
         return median(
-            float(counters[row, col])
-            for row, col in enumerate(self.hashes.buckets(item))
+            float(counters[row, col]) for row, col in enumerate(cols)
         )
 
     def inner_product(self, other: "CountMinSketch") -> int:

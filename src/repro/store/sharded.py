@@ -18,6 +18,9 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
+from repro.core import columnar
 from repro.core.base import PersistentSketch
 from repro.core.persistent_countmin import PersistentCountMin
 
@@ -86,6 +89,32 @@ class ShardedPersistentSketch(PersistentSketch):
         # Shard-local clocks are global times; they interleave correctly
         # because global time is strictly increasing.
         shard.update(item, count, time)
+
+    def _ingest_batch(
+        self, times: np.ndarray, items: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Columnar plan: cut the batch at shard boundaries.
+
+        Batch times are strictly increasing, so shard ids are
+        non-decreasing and each shard's records form one contiguous
+        slice, forwarded to the shard's own batch plan.  An expired-shard
+        violation can only occur on the first slice, before any state is
+        touched — exactly where the scalar path raises.
+        """
+        shard_ids = (times - 1) // self.shard_length
+        for lo, hi in columnar.group_slices(shard_ids):
+            shard_id = int(shard_ids[lo])
+            if shard_id <= self._dropped_through:
+                raise ValueError(
+                    f"time {int(times[lo])} falls in an expired shard "
+                    f"(retention boundary at shard {self._dropped_through})"
+                )
+            shard = self._shards.get(shard_id)
+            if shard is None:
+                width, depth, delta, seed = self._params
+                shard = self._factory(width, depth, delta, seed + shard_id)
+                self._shards[shard_id] = shard
+            shard.ingest_batch(times[lo:hi], items[lo:hi], counts[lo:hi])
 
     def drop_before(self, time: float) -> int:
         """Expire every shard that ends at or before ``time``.

@@ -175,6 +175,23 @@ class SketchStore:
         if state.join_sketch is not None:
             state.join_sketch.update(item, count, time)
 
+    def update_batch(self, name: str, times, items, counts) -> None:
+        """Feed a strictly-increasing run of updates columnwise into
+        every sketch of stream ``name``.
+
+        Bit-identical to the equivalent sequence of :meth:`update` calls
+        (the sketches' batch planners guarantee it); timestamps must be
+        explicit and strictly increasing — batch validation happens in
+        :meth:`~repro.core.base.PersistentSketch.ingest_batch` before
+        any sketch state is touched.
+        """
+        state = self._state(name)
+        state.point_sketch.ingest_batch(times, items, counts)
+        if state.hh_sketch is not None:
+            state.hh_sketch.ingest_batch(times, items, counts)
+        if state.join_sketch is not None:
+            state.join_sketch.ingest_batch(times, items, counts)
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

@@ -116,3 +116,26 @@ def read_jsonl_records(path: str | Path) -> Iterator[tuple[int, object]]:
                 yield lineno, json.loads(line)
             except json.JSONDecodeError as exc:
                 yield lineno, RecordError(f"line {lineno}: invalid JSON: {exc}")
+
+
+def read_jsonl_batches(
+    path: str | Path, size: int
+) -> Iterator[list[object]]:
+    """Yield lists of up to ``size`` raw records from a JSON-lines file.
+
+    Chunked form of :func:`read_jsonl_records` for the batch ingestion
+    path.  Chunking is purely a framing decision: unparsable lines stay
+    *in position* inside their chunk as :class:`RecordError` instances,
+    so the runtime's per-record malformed policy (raise / skip /
+    quarantine) applies identically however the file is split.
+    """
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    batch: list[object] = []
+    for _lineno, raw in read_jsonl_records(path):
+        batch.append(raw)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

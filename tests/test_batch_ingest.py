@@ -1,0 +1,462 @@
+"""Scalar-vs-batch bit-equality of the columnar ingestion pipeline.
+
+The tentpole claim of the batch refactor is that ``ingest_batch`` is
+*bit-identical* to a loop of scalar ``update()`` calls for **every**
+sketch type — including the sampling-based persistent AMS, whose
+Bernoulli draws are pre-drawn from the same seeded generator in scalar
+order.  These tests compare a structural fingerprint of the full sketch
+state (counters, tracker segments, history lists, epoch bookkeeping,
+RNG state) rather than just query answers, under hypothesis-driven
+streams and arbitrary chunk boundaries.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import contracts
+from repro.analysis.contracts import ContractViolation
+from repro.core.heavy_hitters import PersistentHeavyHitters
+from repro.core.historical_ams import HistoricalAMS
+from repro.core.historical_countmin import HistoricalCountMin
+from repro.core.historical_heavy_hitters import HistoricalHeavyHitters
+from repro.core.persistent_ams import PersistentAMS
+from repro.core.persistent_countmin import PersistentCountMin, PWCCountMin
+from repro.core.pwc_ams import PWCAMS
+from repro.hashing import BucketHashFamily, HashConfig, SignHashFamily
+from repro.hashing.carter_wegman import MERSENNE_PRIME, PolynomialHash
+from repro.hashing.families import IdentityHashFamily
+from repro.persistence.sampling import bulk_uniforms
+from repro.pla.orourke import _FUSED_MIN, OnlinePLA
+from repro.pla.piecewise_constant import OnlinePWC
+from repro.sketch.ams import AMSSketch
+from repro.sketch.countmin import CountMinSketch
+from repro.store.sharded import ShardedPersistentSketch
+from repro.streams.model import Stream
+
+# --------------------------------------------------------------------- #
+# Deep state fingerprint
+# --------------------------------------------------------------------- #
+
+
+# Memoization caches (hash families) and weakref plumbing are not sketch
+# state: the scalar path warms per-item caches the vectorized path never
+# touches, by design.
+_NON_STATE_ATTRS = {"_cache", "__weakref__"}
+
+
+def _slot_names(obj):
+    names = []
+    for klass in type(obj).__mro__:
+        names.extend(getattr(klass, "__slots__", ()))
+    return names
+
+
+def fingerprint(obj, _depth=0):
+    """Recursively reduce an object graph to comparable plain data.
+
+    Every attribute reachable from the sketch participates — counters,
+    tracker segments, history lists, epoch state and RNG state — so two
+    equal fingerprints mean bit-identical sketches, not merely sketches
+    that happen to answer today's queries alike.
+    """
+    if _depth > 24:
+        raise RuntimeError("fingerprint recursion too deep")
+    if isinstance(obj, (int, float, str, bool, type(None))):
+        return obj
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", str(obj.dtype), obj.tolist())
+    if isinstance(obj, random.Random):
+        return ("rng", obj.getstate())
+    if isinstance(obj, (list, tuple)):
+        return [fingerprint(x, _depth + 1) for x in obj]
+    if isinstance(obj, dict):
+        return {
+            repr(key): fingerprint(value, _depth + 1)
+            for key, value in sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        }
+    if isinstance(obj, (set, frozenset)):
+        return ("set", sorted(repr(x) for x in obj))
+    if callable(obj) and not hasattr(obj, "__dict__"):
+        return ("callable", getattr(obj, "__qualname__", repr(type(obj))))
+    if callable(obj) and isinstance(
+        obj, (type(lambda: 0), type(fingerprint))
+    ):
+        return ("callable", getattr(obj, "__qualname__", "?"))
+    state = {}
+    for name in _slot_names(obj):
+        if name not in _NON_STATE_ATTRS and hasattr(obj, name):
+            state[name] = fingerprint(getattr(obj, name), _depth + 1)
+    for name, value in vars(obj).items() if hasattr(obj, "__dict__") else ():
+        if name in _NON_STATE_ATTRS:
+            continue
+        if callable(value) and not isinstance(value, random.Random):
+            state[name] = ("callable",)
+        else:
+            state[name] = fingerprint(value, _depth + 1)
+    return (type(obj).__name__, state)
+
+
+# --------------------------------------------------------------------- #
+# Stream strategy: bounded turnstile updates with irregular gaps
+# --------------------------------------------------------------------- #
+
+update_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255),  # item (fits HH universes)
+        st.sampled_from([1, 1, 1, 2, -1]),  # count (mostly inserts)
+        st.integers(min_value=1, max_value=3),  # time gap
+    ),
+    min_size=1,
+    max_size=90,
+)
+
+
+def build_stream(updates):
+    """Materialize a valid cash-register-leaning stream."""
+    balance: dict[int, int] = {}
+    items, counts, times = [], [], []
+    time = 0
+    for item, count, gap in updates:
+        if count < 0 and balance.get(item, 0) <= 0:
+            count = 1
+        balance[item] = balance.get(item, 0) + count
+        time += gap
+        items.append(item)
+        counts.append(count)
+        times.append(time)
+    return Stream(
+        np.array(items, dtype=np.int64),
+        np.array(times, dtype=np.int64),
+        np.array(counts, dtype=np.int64),
+    )
+
+
+def scalar_ingest(sketch, stream):
+    for t, i, c in zip(
+        stream.times.tolist(), stream.items.tolist(), stream.counts.tolist()
+    ):
+        sketch.update(i, count=c, time=t)
+
+
+FACTORIES = {
+    "PLA_CM": lambda: PersistentCountMin(width=32, depth=3, delta=5, seed=2),
+    "PWC_CM": lambda: PWCCountMin(width=32, depth=3, delta=5, seed=2),
+    "PWC_AMS": lambda: PWCAMS(width=32, depth=3, delta=5, seed=2),
+    "Sample_AMS": lambda: PersistentAMS(
+        width=32, depth=3, delta=5, seed=2, sampling_seed=11
+    ),
+    "Hist_CM": lambda: HistoricalCountMin(width=32, depth=3, eps=0.1, seed=2),
+    "Hist_AMS": lambda: HistoricalAMS(
+        width=32, depth=2, eps=0.25, seed=2, expected_length=1000
+    ),
+    "PLA_HH": lambda: PersistentHeavyHitters(
+        universe=256, width=32, depth=2, delta=5, seed=2
+    ),
+    "Hist_HH": lambda: HistoricalHeavyHitters(
+        universe=256, width=16, depth=2, eps=0.15, seed=2
+    ),
+    "Sharded": lambda: ShardedPersistentSketch(
+        shard_length=40, width=32, depth=2, delta=5, seed=2
+    ),
+}
+
+
+# --------------------------------------------------------------------- #
+# The tentpole property: batch == scalar, bit for bit, for every type
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(updates=update_lists, chunk=st.integers(min_value=1, max_value=41))
+def test_batch_bit_identical_to_scalar(name, updates, chunk):
+    stream = build_stream(updates)
+    sequential = FACTORIES[name]()
+    scalar_ingest(sequential, stream)
+    batched = FACTORIES[name]()
+    batched.ingest(stream, batch_size=chunk)
+    assert fingerprint(batched) == fingerprint(sequential)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(updates=update_lists, data=st.data())
+def test_chunk_boundaries_are_invisible(name, updates, data):
+    """Splitting one batch at arbitrary points changes nothing."""
+    stream = build_stream(updates)
+    n = len(stream)
+    cuts = sorted(
+        data.draw(
+            st.sets(st.integers(min_value=1, max_value=max(1, n - 1)), max_size=6)
+        )
+    )
+    whole = FACTORIES[name]()
+    whole.ingest_batch(stream.times, stream.items, stream.counts)
+    split = FACTORIES[name]()
+    for lo, hi in zip([0, *cuts], [*cuts, n]):
+        if lo < hi:
+            split.ingest_batch(
+                stream.times[lo:hi], stream.items[lo:hi], stream.counts[lo:hi]
+            )
+    assert fingerprint(split) == fingerprint(whole)
+
+
+# --------------------------------------------------------------------- #
+# Batch validation: contracts and clock conflicts, before any state
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "factory", [FACTORIES["PLA_CM"], FACTORIES["Sample_AMS"]]
+)
+def test_non_monotone_batch_rejected_untouched(factory):
+    sketch = factory()
+    before = fingerprint(sketch)
+    times = np.array([1, 2, 2, 4], dtype=np.int64)
+    items = np.array([5, 6, 7, 8], dtype=np.int64)
+    with pytest.raises(ContractViolation, match="strictly increasing"):
+        sketch.ingest_batch(times, items)
+    assert sketch.now == 0
+    assert fingerprint(sketch) == before
+
+
+def test_clock_conflict_rejected_untouched():
+    sketch = FACTORIES["PLA_CM"]()
+    sketch.ingest_batch([1, 2, 3], [4, 5, 6])
+    before = fingerprint(sketch)
+    with pytest.raises(ValueError, match="clock is already at"):
+        sketch.ingest_batch([3, 4], [7, 8])
+    assert fingerprint(sketch) == before
+
+
+def test_batch_argument_validation():
+    sketch = FACTORIES["PLA_CM"]()
+    with pytest.raises(ValueError, match="batch_size"):
+        sketch.ingest(build_stream([(1, 1, 1)]), batch_size=0)
+    with pytest.raises(ValueError, match="equal lengths"):
+        sketch.ingest_batch([1, 2], [3])
+    sketch.ingest_batch([], [])  # empty batch is a no-op
+    assert sketch.now == 0
+    sketch.ingest_batch([5, 7], [1, 2])  # counts default to ones
+    assert sketch.now == 7
+    assert sketch.total == 2
+
+
+# --------------------------------------------------------------------- #
+# Layer 1: vectorized Carter-Wegman hashing
+# --------------------------------------------------------------------- #
+
+
+def test_eval_many_matches_scalar_on_edge_values():
+    hash_fn = PolynomialHash(degree=4, rng=random.Random(9))
+    edges = [0, 1, 2, 61, MERSENNE_PRIME - 1, MERSENNE_PRIME, 2**62, 2**64 - 1]
+    got = hash_fn.eval_many(np.array(edges, dtype=np.uint64))
+    assert got.dtype == np.uint64
+    assert got.tolist() == [hash_fn(x) for x in edges]
+
+
+def test_bucket_and_sign_families_vectorize_exactly():
+    config = HashConfig(width=37, depth=4, seed=13)
+    buckets = BucketHashFamily(config)
+    signs = SignHashFamily(config)
+    items = np.arange(0, 500, 7, dtype=np.int64)
+    cols = buckets.buckets_many(items)
+    sgns = signs.signs_many(items)
+    assert cols.shape == (4, len(items))
+    for idx, item in enumerate(items.tolist()):
+        assert tuple(cols[:, idx].tolist()) == buckets.buckets(item)
+        assert tuple(sgns[:, idx].tolist()) == signs.signs(item)
+
+
+def test_identity_family_vector_range_check():
+    family = IdentityHashFamily(16, 2)
+    out = family.buckets_many(np.array([0, 3, 15], dtype=np.int64))
+    assert out.tolist() == [[0, 3, 15], [0, 3, 15]]
+    with pytest.raises(ValueError, match="outside identity range"):
+        family.buckets_many(np.array([0, 16], dtype=np.int64))
+
+
+# --------------------------------------------------------------------- #
+# Layer 2: ephemeral sketches
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("cls", [CountMinSketch, AMSSketch])
+def test_ephemeral_update_many_matches_scalar(cls):
+    rng = np.random.default_rng(3)
+    items = rng.integers(0, 4096, size=400)
+    counts = rng.integers(-2, 5, size=400)
+    counts[counts == 0] = 1
+    scalar = cls(width=64, depth=4, seed=7)
+    for item, count in zip(items.tolist(), counts.tolist()):
+        scalar.update(item, count)
+    batched = cls(width=64, depth=4, seed=7)
+    batched.update_many(items, counts)
+    assert batched.counters.tolist() == scalar.counters.tolist()
+    assert batched.total == scalar.total
+
+
+# --------------------------------------------------------------------- #
+# Layer 4: persistence primitives
+# --------------------------------------------------------------------- #
+
+
+def test_bulk_uniforms_is_the_scalar_stream():
+    reference = random.Random(41)
+    expected = [reference.random() for _ in range(257)]
+    rng = random.Random(41)
+    got = bulk_uniforms(rng, 257)
+    assert got.tolist() == expected
+    assert rng.getstate() == reference.getstate()
+    # Interleaving bulk and scalar draws continues the same stream.
+    assert rng.random() == reference.random()
+    assert bulk_uniforms(rng, 3).tolist() == [
+        reference.random() for _ in range(3)
+    ]
+    assert bulk_uniforms(rng, 0).tolist() == []
+
+
+# --------------------------------------------------------------------- #
+# The fused OnlinePLA batch path
+# --------------------------------------------------------------------- #
+
+pla_steps = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=5),  # time gap
+        st.integers(min_value=-6, max_value=9),  # value step
+    ),
+    min_size=_FUSED_MIN,
+    max_size=120,
+)
+
+
+def _pla_columns(steps):
+    t, v = 0, 0
+    times, values = [], []
+    for gap, dv in steps:
+        t += gap
+        v += dv
+        times.append(t)
+        values.append(v)
+    return (
+        np.array(times, dtype=np.int64),
+        np.array(values, dtype=np.int64),
+    )
+
+
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    steps=pla_steps,
+    delta=st.sampled_from([1.0, 2.0, 5.0, 50.0]),
+    data=st.data(),
+)
+def test_pla_fused_feed_many_matches_scalar(steps, delta, data):
+    """The fused vector path leaves bit-identical OnlinePLA state.
+
+    Every internal field participates via the fingerprint: hulls,
+    tangent-walk starts, supporting lines, run bookkeeping and emitted
+    segments.  Chunk cuts are drawn adversarially so fused windows stop
+    and resume at arbitrary run positions.
+    """
+    times, values = _pla_columns(steps)
+    with contracts.enforced(False):
+        scalar = OnlinePLA(delta=delta)
+        for t, v in zip(times.tolist(), values.tolist()):
+            scalar.feed(t, v)
+        fused = OnlinePLA(delta=delta)
+        pos = 0
+        while pos < len(times):
+            cut = data.draw(
+                st.integers(min_value=1, max_value=len(times) - pos),
+                label="cut",
+            )
+            fused.feed_many(times[pos : pos + cut], values[pos : pos + cut])
+            pos += cut
+    assert fingerprint(fused) == fingerprint(scalar)
+
+
+def test_pla_fused_path_engages_on_clean_columns():
+    """Integer, strictly-increasing numpy columns take the vector path."""
+    times = np.arange(1, 101, dtype=np.int64)
+    values = (times * 7) // 3
+    with contracts.enforced(False):
+        pla = OnlinePLA(delta=5.0)
+        assert pla._feed_fused(times, values)
+        assert pla._count > 0
+
+
+def test_pla_fused_declines_unsafe_columns():
+    """Guards route float dtypes and unsorted times to the scalar loop."""
+    times = np.arange(1, 41, dtype=np.int64)
+    values = np.arange(1, 41, dtype=np.int64)
+    with contracts.enforced(False):
+        assert not OnlinePLA(delta=5.0)._feed_fused(
+            times.astype(np.float64), values
+        )
+        assert not OnlinePLA(delta=5.0)._feed_fused(
+            times, values.astype(np.float64)
+        )
+        shuffled = times.copy()
+        shuffled[[3, 4]] = shuffled[[4, 3]]
+        assert not OnlinePLA(delta=5.0)._feed_fused(shuffled, values)
+        # Fractional delta: the exact-arithmetic argument needs
+        # integer-valued hull coordinates.
+        assert not OnlinePLA(delta=2.5)._feed_fused(times, values)
+        # The declined calls must not have touched any state.
+        pla = OnlinePLA(delta=5.0)
+        assert not pla._feed_fused(shuffled, values)
+        assert fingerprint(pla) == fingerprint(OnlinePLA(delta=5.0))
+
+
+def test_pla_fused_state_holds_no_numpy_scalars():
+    """Recorded state stays plain Python after numpy-column feeding."""
+    times = np.arange(1, 301, dtype=np.int64)
+    values = (times * times) // 7  # convex: exercises hull churn
+    with contracts.enforced(False):
+        pla = OnlinePLA(delta=3.0)
+        pla.feed_many(times, values)
+
+    def walk(obj, depth=0):
+        assert depth < 16
+        assert not isinstance(obj, np.generic), repr(obj)
+        if isinstance(obj, (list, tuple)):
+            for x in obj:
+                walk(x, depth + 1)
+
+    walk(pla._hull_a)
+    walk(pla._hull_b)
+    walk([pla._last_x, pla._first_v, pla._u_slope, pla._u_icept])
+    for seg in pla.function.segments:
+        walk([seg.t_start, seg.t_end, seg.slope, seg.value_at_start])
+
+
+def test_pwc_feed_many_fused_path_matches_scalar():
+    with contracts.enforced(False):
+        scalar = OnlinePWC(delta=2.0, initial_value=0.0)
+        fused = OnlinePWC(delta=2.0, initial_value=0.0)
+        times = list(range(1, 60))
+        values = [float((t * 13) % 17 - 8) for t in times]
+        for t, v in zip(times, values):
+            scalar.feed(t, v)
+        fused.feed_many(times, values)
+        assert fused.function._times == scalar.function._times
+        assert fused.function._values == scalar.function._values
+        assert fused._last_recorded == scalar._last_recorded

@@ -275,6 +275,78 @@ def test_sl009_passes_atomic_helpers():
 
 
 # --------------------------------------------------------------------- #
+# SL010 — per-record scalar loops on hot paths
+# --------------------------------------------------------------------- #
+
+
+def test_sl010_flags_zip_loop_over_stream_columns():
+    source = """
+        for t, i, c in zip(stream.times, stream.items, stream.counts):
+            sketch.update(i, c, t)
+    """
+    assert "SL010" in codes(source)
+    tolist = """
+        for t, i in zip(times.tolist(), items.tolist()):
+            handle(t, i)
+    """
+    assert "SL010" in codes(tolist, path="src/repro/sketch/module.py")
+
+
+def test_sl010_flags_enumerated_zip_and_scalar_hashing_in_loops():
+    enumerated = """
+        for idx, (t, i) in enumerate(zip(times, items)):
+            handle(idx, t, i)
+    """
+    assert "SL010" in codes(enumerated)
+    hashing = """
+        for row, col in enumerate(self.hashes.buckets(item)):
+            counters[row][col] += count
+    """
+    assert "SL010" in codes(hashing)
+    signs = """
+        while pending:
+            sgns = self.signs.signs(pending.pop())
+    """
+    assert "SL010" in codes(signs)
+
+
+def test_sl010_passes_vectorized_and_unrelated_loops():
+    assert "SL010" not in codes(
+        """
+        columns = self.hashes.buckets_many(items)
+        for row in range(self.depth):
+            np.add.at(self.counters[row], columns[row], counts)
+        """
+    )
+    assert "SL010" not in codes("cols = self.hashes.buckets(item)\n")
+    assert "SL010" not in codes(
+        """
+        for a, b in zip(starts, ends):
+            handle(a, b)
+        """
+    )
+
+
+def test_sl010_scoped_to_core_and_sketch():
+    source = """
+        for t, i, c in zip(stream.times, stream.items, stream.counts):
+            sketch.update(i, c, t)
+    """
+    assert "SL010" not in codes(source, path="src/repro/streams/model.py")
+    assert "SL010" not in codes(source, path="benchmarks/bench_x.py")
+    assert "SL010" not in codes(source, path="tests/test_core.py")
+
+
+def test_sl010_suppression_for_scalar_references():
+    source = (
+        "for t, i in zip(times, items):  "
+        "# sketchlint: disable=SL010 — scalar reference\n"
+        "    feed(t, i)\n"
+    )
+    assert "SL010" not in codes(source)
+
+
+# --------------------------------------------------------------------- #
 # Engine behaviour
 # --------------------------------------------------------------------- #
 
@@ -327,7 +399,7 @@ def test_run_lint_text_and_json(tmp_path):
 
 
 def test_rule_table_is_complete():
-    assert sorted(RULES) == [f"SL00{i}" for i in range(1, 10)]
+    assert sorted(RULES) == [f"SL00{i}" for i in range(1, 10)] + ["SL010"]
     for cls in RULES.values():
         assert cls.summary and cls.rationale
 
