@@ -11,17 +11,23 @@ on all three workloads:
 * live per-query latency (p50/p99) and throughput for point queries;
 * frozen per-query latency and ``point_many`` batch throughput;
 * live vs frozen self-join latency;
+* parallel snapshot compilation and ``point_many`` fan-out over 2- and
+  4-worker pools (on a tiled probe batch large enough to trigger the
+  fan-out), bit-equal to the serial snapshot;
 * and — a hard gate — **bit-equality** of every frozen answer with its
   live counterpart, so the speedup can never come from answering a
   different question.
 
 Results are written to ``BENCH_query.json`` at the repo root (schema
-documented in EXPERIMENTS.md).  Scale with ``REPRO_BENCH_SCALE``.
+``bench_query_serving/v2``, documented in EXPERIMENTS.md; v2 adds
+``cpus``/``workers`` and the per-workload ``parallel`` block to v1).
+Scale with ``REPRO_BENCH_SCALE``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -43,6 +49,18 @@ DATASETS = ("Zipf_3", "ObjectID", "ClientID")
 OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_query.json"
 
 SELF_JOIN_QUERIES = 5
+
+#: Pool widths measured for parallel freeze + point_many fan-out.
+WORKER_WIDTHS = (2, 4)
+
+#: The fan-out only engages above ``repro.engine.frozen._FANOUT_MIN``
+#: probes; the parallel leg tiles the query workload up to this size.
+PARALLEL_PROBE_TARGET = 16_384
+
+#: Frozen scalar ``point`` must stay within this factor of the live
+#: path's p50 — the fast path exists precisely so one-off queries do
+#: not pay the batch engine's array/dedup setup.
+SCALAR_POINT_P50_FACTOR = 1.2
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -105,6 +123,41 @@ def _bench_workload(name: str) -> dict:
             f"diverge from the live query path"
         )
 
+    # Parallel leg: freeze with a worker pool and fan a large probe
+    # batch over the forked children.  The workload is tiled so the
+    # batch clears the fan-out threshold at any bench scale; answers
+    # must be bit-equal to the serial snapshot's, tile by tile.
+    reps = max(1, -(-PARALLEL_PROBE_TARGET // n_queries))
+    par_items = np.tile(items_arr, reps)
+    par_windows = np.tile(windows_arr, (reps, 1))
+    serial_par_total = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        serial_par_answers = frozen.point_many(par_items, par_windows)
+        serial_par_total = min(serial_par_total, time.perf_counter() - start)
+    parallel = {}
+    for workers in WORKER_WIDTHS:
+        par_freeze_start = time.perf_counter()
+        par_frozen = freeze(sketch, workers=workers)
+        par_freeze_s = time.perf_counter() - par_freeze_start
+        par_total = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            par_answers = par_frozen.point_many(par_items, par_windows)
+            par_total = min(par_total, time.perf_counter() - start)
+        if not np.array_equal(par_answers, serial_par_answers):
+            raise AssertionError(
+                f"{name}: {workers}-worker point_many diverges from the "
+                f"serial snapshot"
+            )
+        parallel[str(workers)] = {
+            "equal": True,
+            "freeze_s": par_freeze_s,
+            "point_many_total_s": par_total,
+            "point_many_qps": len(par_items) / par_total,
+            "speedup_vs_serial_frozen": serial_par_total / par_total,
+        }
+
     # Self-join: a few holistic queries on nested windows.
     sj_windows = [
         (length * i / 10.0, length * (10 - i) / 10.0)
@@ -141,6 +194,8 @@ def _bench_workload(name: str) -> dict:
             "point_many_qps": n_queries / frozen_batch_total,
             "self_join_total_s": frozen_sj_total,
         },
+        "parallel_queries": int(len(par_items)),
+        "parallel": parallel,
         "speedup_point_many": live_total / frozen_batch_total,
         "speedup_self_join": live_sj_total / max(frozen_sj_total, 1e-12),
     }
@@ -162,18 +217,21 @@ def run_benchmark() -> dict:
                 round(stats["frozen"]["point_p99_us"], 1),
                 round(stats["frozen"]["point_many_qps"], 0),
                 round(stats["speedup_point_many"], 1),
+                round(stats["parallel"]["4"]["point_many_qps"], 0),
             )
         )
     payload = {
-        "schema": "bench_query_serving/v1",
+        "schema": "bench_query_serving/v2",
         "scale": harness.bench_scale(),
+        "cpus": os.cpu_count(),
+        "workers": list(WORKER_WIDTHS),
         "shape": {"width": WIDTH, "depth": DEPTH, "delta": DELTA},
         "workloads": results,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     report(
         f"Query serving: frozen vs live (w={WIDTH}, d={DEPTH}, "
-        f"delta={DELTA})",
+        f"delta={DELTA}, cpus={os.cpu_count()})",
         [
             "dataset",
             "queries",
@@ -183,6 +241,7 @@ def run_benchmark() -> dict:
             "frozen p99 (us)",
             "frozen batch qps",
             "batch speedup",
+            "4-worker qps",
         ],
         rows,
         json_name="query_serving",
@@ -207,6 +266,18 @@ def test_query_serving(benchmark):
             f"{stats['speedup_point_many']:.1f}x faster than live "
             f"(floor {floor}x)"
         )
+        for workers in WORKER_WIDTHS:
+            assert stats["parallel"][str(workers)]["equal"]
+    # The scalar fast path gate: a one-off frozen point query must not
+    # cost more than a live one (it used to pay the full batch setup —
+    # 181us vs 13us p50 on Zipf_3 before the fast path).
+    zipf = payload["workloads"]["Zipf_3"]
+    live_p50 = zipf["live"]["point_p50_us"]
+    frozen_p50 = zipf["frozen"]["point_p50_us"]
+    assert frozen_p50 <= live_p50 * SCALAR_POINT_P50_FACTOR, (
+        f"Zipf_3: frozen scalar point p50 {frozen_p50:.1f}us exceeds "
+        f"{SCALAR_POINT_P50_FACTOR}x the live p50 {live_p50:.1f}us"
+    )
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""The sketchlint rule set (SL001–SL010).
+"""The sketchlint rule set (SL001–SL011).
 
 Each rule is a small visitor encoding one invariant of the paper's
 analysis or of disciplined reproduction engineering.  Rules are scoped
@@ -615,4 +615,132 @@ class ScalarHotLoopRule(Rule):
                 f".{func.attr}() evaluated per record inside a loop; "
                 f"hoist the batch through the vectorized .{many}()",
             )
+        self.generic_visit(node)
+
+
+@register
+class ForkSharedRNGRule(Rule):
+    """SL011: RNG state shared across a fork without a per-worker plan.
+
+    Fork-based parallelism duplicates the parent's RNG *state*: every
+    child that keeps drawing from a fork-inherited generator produces
+    the same "random" sequence as its siblings — and none of them
+    advances the master's generator, so parallel output silently
+    diverges from the serial reference the repo's bit-equality contract
+    pins.  A function that touches an RNG *and* launches forked work
+    must show an explicit determinism plan: pre-draw the randomness on
+    the master and ship slices (``bulk_uniforms``), derive per-worker
+    generators (``spawn`` / ``jumped`` / ``SeedSequence`` / explicit
+    per-index ``seed(...)``), or capture and restore state
+    (``getstate`` / ``setstate``).  Deliberately redundant broadcasts
+    opt out with a per-line suppression.
+    """
+
+    code = "SL011"
+    summary = "RNG shared across fork/pool dispatch without per-worker plan"
+    rationale = (
+        "Fork duplicates generator state: sibling workers draw identical "
+        "sequences and the master's RNG never advances, breaking the "
+        "parallel == serial bit-equality contract (pre-draw slices, "
+        "spawn per-worker generators, or manage state explicitly)."
+    )
+
+    #: Constructors / launchers that move work into a forked child.
+    _FORK_LAUNCHERS = {
+        "Process",
+        "WorkerPool",
+        "parallel_map",
+        "ProcessPoolExecutor",
+        "Pool",
+        "fork",
+    }
+    #: Methods that submit payloads to an already-forked pool; only
+    #: counted when called on a pool-like receiver (``pool.feed`` yes,
+    #: ``tracker.feed`` no).
+    _POOL_SUBMITS = {"feed", "submit", "map", "apply_async"}
+    #: Calls that constitute an explicit per-worker determinism plan.
+    _MITIGATIONS = {
+        "bulk_uniforms",
+        "spawn",
+        "jumped",
+        "SeedSequence",
+        "seed",
+        "getstate",
+        "setstate",
+        "bit_generator",
+    }
+
+    @staticmethod
+    def _call_name(func: ast.expr) -> str:
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return ""
+
+    @classmethod
+    def _is_pool_receiver(cls, func: ast.expr) -> bool:
+        return (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and "pool" in func.value.id.lower()
+        )
+
+    @staticmethod
+    def _mentions_rng(node: ast.AST) -> bool:
+        for part in ast.walk(node):
+            name = None
+            if isinstance(part, ast.Name):
+                name = part.id
+            elif isinstance(part, ast.Attribute):
+                name = part.attr
+            if name is not None and "rng" in name.lower():
+                return True
+        return False
+
+    def check_module(self, tree: ast.Module, source: str) -> None:
+        # Nested defs are walked by their enclosing scan too (a closure
+        # capturing an outer RNG is exactly the hazard); dedupe so one
+        # dispatch site yields one finding.
+        self._reported: set[int] = set()
+        self.visit(tree)
+
+    def _scan(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        fork_call: ast.Call | None = None
+        mitigated = False
+        for part in ast.walk(fn):
+            if not isinstance(part, ast.Call):
+                continue
+            name = self._call_name(part.func)
+            if name in self._MITIGATIONS:
+                mitigated = True
+            elif name in self._FORK_LAUNCHERS or (
+                name in self._POOL_SUBMITS
+                and self._is_pool_receiver(part.func)
+            ):
+                if fork_call is None:
+                    fork_call = part
+        if (
+            fork_call is not None
+            and not mitigated
+            and id(fork_call) not in self._reported
+            and self._mentions_rng(fn)
+        ):
+            self._reported.add(id(fork_call))
+            self.report(
+                fork_call,
+                "RNG state visible in a function that dispatches forked "
+                "work, with no per-worker determinism plan (pre-draw with "
+                "bulk_uniforms, spawn/seed per-worker generators, or "
+                "manage state explicitly)",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Scan one function scope for the capture-across-fork pattern."""
+        self._scan(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Async variant of :meth:`visit_FunctionDef`."""
+        self._scan(node)
         self.generic_visit(node)

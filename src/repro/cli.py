@@ -170,6 +170,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             args.directory,
             policy=policy,
             checkpoint_every=args.checkpoint_every,
+            workers=args.workers,
         )
         print(
             f"resumed at seq {runtime.applied_seq} "
@@ -192,6 +193,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             store,
             policy=policy,
             checkpoint_every=args.checkpoint_every,
+            workers=args.workers,
         )
     if args.batch_size is not None:
         from repro.streams.records import read_jsonl_batches
@@ -244,7 +246,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.frozen:
         # Compile once, serve all of this invocation's queries from the
         # immutable columnar snapshot (bit-equal to the live path).
-        sketch = sketch.freeze()
+        sketch = sketch.freeze(workers=args.workers)
     t = args.t if args.t is not None else sketch.now
     if args.kind == "point":
         items = _query_items(args)
@@ -367,6 +369,14 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--width", type=int, default=2048)
     ingest.add_argument("--depth", type=int, default=5)
     ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker-pool width for parallel batch plans (with "
+        "--batch-size; output is bit-identical to serial)",
+    )
 
     recover = sub.add_parser(
         "recover",
@@ -396,6 +406,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compile the archive into a frozen columnar snapshot "
         "(repro.engine.frozen) and serve the query from it",
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --frozen: fan snapshot compilation and large "
+        "point_many batches out over N forked workers",
     )
     return parser
 

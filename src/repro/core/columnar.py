@@ -16,11 +16,31 @@ thin wrapper over the sketch-level API.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
+from repro.parallel.pool import WorkerPool
 from repro.persistence.tracker import CounterTracker
+
+#: Update-weighted mean run length (``sum(c_i^2) / n`` over the row's
+#: per-column multiplicities) below which the per-row columnar plan
+#: costs more than it saves and :func:`feed_tracked_row` falls back to
+#: the scalar loop.  The *weighted* mean is the statistic that matters:
+#: the columnar win is concentrated in the long runs that reach the
+#: fused ``feed_many`` path, so a skewed row with a few hot counters
+#: must stay columnar even when the plain mean run length is ~1
+#: (ClientID rows weigh in at ~10, ObjectID in the hundreds — both
+#: columnar; only near-uniform singleton-run rows fall back).  On a
+#: uniform row the weighted mean is the plain mean + 1, so the cutover
+#: is calibrated by ``benchmarks/micro_run_cutover.py`` (see
+#: EXPERIMENTS.md): the scalar loop is up to ~10% faster through
+#: weighted run length ~3.5, the two bodies trade within noise above
+#: it on uniform rows, and skewed real rows above the cutover win
+#: decisively end-to-end (ClientID ~1.4x) because their hot counters
+#: reach the fused deep-run path the uniform sweep only hits at
+#: weighted ~1000 (1.75x there).
+SHORT_RUN_CUTOVER = 4.0
 
 
 def group_slices(sorted_keys: np.ndarray) -> list[tuple[int, int]]:
@@ -73,7 +93,23 @@ def feed_tracked_row(
     columns: trackers with a fused batch path consume them directly,
     the rest convert back to Python scalars so the recorded state
     matches scalar feeding bit-for-bit.
+
+    When the row's update-weighted mean run length falls below
+    :data:`SHORT_RUN_CUTOVER` — the near-uniform high-cardinality
+    regime where nearly every run is a singleton and no run reaches the
+    fused tracker path — the argsort/slicing setup is skipped entirely
+    and the row replays through the scalar per-update loop, which is
+    the bit-identical reference path by construction.
     """
+    n = row_cols.shape[0]
+    if n > 0:
+        per_col = np.bincount(row_cols)
+        weighted = float(np.square(per_col).sum()) / n
+        if weighted < SHORT_RUN_CUTOVER:
+            _feed_row_scalar(
+                counters, trackers, row_cols, times, counts, make_tracker
+            )
+            return
     order = np.argsort(row_cols, kind="stable")
     sorted_cols = row_cols[order]
     slices = group_slices(sorted_cols)
@@ -91,3 +127,109 @@ def feed_tracked_row(
             trackers[col] = tracker
         tracker.feed_many(sorted_times[lo:hi], values[lo:hi])
         counters[col] = int(values[hi - 1])
+
+
+def _feed_row_scalar(
+    counters: list[int],
+    trackers: dict[int, CounterTracker],
+    row_cols: np.ndarray,
+    times: np.ndarray,
+    counts: np.ndarray,
+    make_tracker: Callable[[], CounterTracker],
+) -> None:
+    """Per-update replay of one row: the scalar reference path.
+
+    Used below the run-length cutover, where runs are too short for the
+    columnar setup to amortize.  ``tracker.feed`` is exactly what scalar
+    ``update()`` calls, so this path is bit-identical by construction.
+    """
+    for col, t, value_change in zip(  # sketchlint: disable=SL010 — short-run regime, scalar is the fast path here
+        row_cols.tolist(), times.tolist(), counts.tolist()
+    ):
+        value = counters[col] + value_change
+        counters[col] = value
+        tracker = trackers.get(col)
+        if tracker is None:
+            tracker = make_tracker()
+            trackers[col] = tracker
+        tracker.feed(t, value)
+
+
+# --------------------------------------------------------------------- #
+# Row-parallel execution (PersistentCountMin / PWCAMS family)
+# --------------------------------------------------------------------- #
+
+
+class TrackedRowWorker:
+    """Forked worker owning hash rows ``index, index + n, ...``.
+
+    Lives inside a child process of a
+    :class:`~repro.parallel.pool.WorkerPool`; ``counters`` and
+    ``trackers`` are the fork-inherited master lists, of which only the
+    owned rows are ever touched or shipped back.
+    """
+
+    def __init__(
+        self,
+        counters: list[list[int]],
+        trackers: list[dict[int, CounterTracker]],
+        make_tracker: Callable[[], CounterTracker],
+        index: int,
+        nworkers: int,
+    ) -> None:
+        self._counters = counters
+        self._trackers = trackers
+        self._make_tracker = make_tracker
+        self._rows = list(range(index, len(counters), nworkers))
+
+    def feed(self, payload: tuple[np.ndarray, dict[int, Any]]) -> None:
+        """Apply ``(times, {row: (row_cols, row_counts)})`` to owned rows."""
+        times, rows = payload
+        for row, (row_cols, row_counts) in rows.items():
+            feed_tracked_row(
+                self._counters[row],
+                self._trackers[row],
+                row_cols,
+                times,
+                row_counts,
+                self._make_tracker,
+            )
+
+    def collect(self) -> list[tuple[int, list[int], dict[int, CounterTracker]]]:
+        """Ship every owned row's counters and trackers back to master."""
+        return [
+            (row, self._counters[row], self._trackers[row])
+            for row in self._rows
+        ]
+
+
+def feed_rows_parallel(
+    pool: WorkerPool,
+    times: np.ndarray,
+    row_payloads: list[tuple[np.ndarray, np.ndarray]],
+) -> None:
+    """Stride-partition per-row ``(cols, counts)`` payloads over the pool.
+
+    Worker ``i`` receives exactly the rows it owns (``row % nworkers ==
+    i``), mirroring :class:`TrackedRowWorker`'s ownership rule.
+    """
+    payloads = []
+    for index in range(pool.nworkers):
+        rows = {
+            row: row_payloads[row]
+            for row in range(index, len(row_payloads), pool.nworkers)
+        }
+        payloads.append((times, rows))
+    pool.feed(payloads)
+
+
+def install_row_states(
+    counters: list[list[int]],
+    trackers: list[dict[int, CounterTracker]],
+    states: list[list[tuple[int, list[int], dict[int, CounterTracker]]]],
+) -> None:
+    """Merge collected per-row worker states back into the master lists."""
+    for state in states:
+        for row, row_counters, row_trackers in state:
+            counters[row] = row_counters
+            trackers[row] = row_trackers

@@ -29,9 +29,102 @@ from repro.analysis import contracts
 from repro.core import columnar
 from repro.core.base import PersistentSketch
 from repro.hashing import BucketHashFamily, HashConfig, SignHashFamily
+from repro.parallel.pool import WorkerPool
 from repro.persistence.history_list import SampledHistoryList
 from repro.persistence.sampling import bulk_uniforms
 from repro.persistence.timeline import TimelineIndex
+
+
+def _feed_sampled_row(
+    components: list[list[int]],
+    histories_row: list[list[dict[int, SampledHistoryList]]],
+    row_cols: np.ndarray,
+    b_flags: np.ndarray,
+    a_times: np.ndarray,
+    a_mags: np.ndarray,
+    uniforms_row: np.ndarray,
+    probability: float,
+    copies: int,
+    rng: Random,
+) -> None:
+    """Apply one hash row's active updates from pre-drawn uniforms.
+
+    ``uniforms_row`` holds this row's slice of the sketch-RNG draw
+    sequence, in update order, shape ``(m, copies)`` — acceptance is a
+    pure function of it, so the caller may run rows in any process.  The
+    row body is shared verbatim by the serial plan and the row-parallel
+    workers; bit-equality between the two is equality of inputs.
+    """
+    keys = row_cols * 2 + b_flags
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    slices = columnar.group_slices(sorted_keys)
+    bases = np.array(
+        [
+            components[int(sorted_keys[lo]) // 2][int(sorted_keys[lo]) % 2]
+            for lo, _hi in slices
+        ],
+        dtype=np.int64,
+    )
+    values_list = columnar.run_values(bases, a_mags[order], slices).tolist()
+    times_list = a_times[order].tolist()
+    accepted = uniforms_row[order] < probability
+    for lo, hi in slices:
+        key = int(sorted_keys[lo])
+        col, b = key // 2, key % 2
+        for copy in range(copies):
+            lists = histories_row[b][copy]
+            history = lists.get(col)
+            if history is None:
+                history = SampledHistoryList(
+                    probability=probability, rng=rng
+                )
+                lists[col] = history
+            hits = np.flatnonzero(accepted[lo:hi, copy]).tolist()
+            if hits:
+                history.extend(
+                    [times_list[lo + k] for k in hits],
+                    [values_list[lo + k] for k in hits],
+                )
+        components[col][b] = values_list[hi - 1]
+
+
+class _SampledRowWorker:
+    """Forked worker owning hash rows ``index, index + n, ...`` of a
+    sampled AMS sketch.  Never draws randomness itself: every uniform is
+    pre-drawn by the master's RNG and shipped in the payload, so the
+    sample sets are bit-identical to serial regardless of worker count."""
+
+    def __init__(self, sketch: PersistentAMS, index: int, nworkers: int) -> None:
+        self._sketch = sketch
+        self._rows = list(range(index, sketch.depth, nworkers))
+
+    def feed(
+        self,
+        payload: tuple[np.ndarray, np.ndarray, dict[int, tuple]],
+    ) -> None:
+        a_times, a_mags, rows = payload
+        sketch = self._sketch
+        for row, (row_cols, b_flags, uniforms_row) in rows.items():
+            _feed_sampled_row(
+                sketch._components[row],
+                sketch._histories[row],
+                row_cols,
+                b_flags,
+                a_times,
+                a_mags,
+                uniforms_row,
+                sketch.probability,
+                sketch.copies,
+                sketch._rng,
+            )
+
+    def collect(self) -> list[tuple]:
+        sketch = self._sketch
+        return [
+            (row, sketch._components[row], sketch._histories[row])
+            for row in self._rows
+        ]
 
 
 class PersistentAMS(PersistentSketch):
@@ -66,8 +159,9 @@ class PersistentAMS(PersistentSketch):
         seed: int = 0,
         independent_copies: int = 2,
         sampling_seed: int | None = None,
+        workers: int = 1,
     ):
-        super().__init__()
+        super().__init__(workers=workers)
         if delta < 1:
             raise ValueError(f"delta must be >= 1, got {delta}")
         if independent_copies < 1:
@@ -166,44 +260,75 @@ class PersistentAMS(PersistentSketch):
                 # Group by (column, component): component streams are
                 # independent monotone counters.
                 b_flags = (signs[row] * a_counts > 0).astype(np.int64)
-                keys = columns[row] * 2 + b_flags
-                order = np.argsort(keys, kind="stable")
-                sorted_keys = keys[order]
-                slices = columnar.group_slices(sorted_keys)
-                components = self._components[row]
-                bases = np.array(
-                    [
-                        components[int(sorted_keys[lo]) // 2][
-                            int(sorted_keys[lo]) % 2
-                        ]
-                        for lo, _hi in slices
-                    ],
-                    dtype=np.int64,
+                _feed_sampled_row(
+                    self._components[row],
+                    self._histories[row],
+                    columns[row],
+                    b_flags,
+                    a_times,
+                    a_mags,
+                    uniforms[:, row, :],
+                    probability,
+                    self.copies,
+                    self._rng,
                 )
-                values_list = columnar.run_values(
-                    bases, a_mags[order], slices
-                ).tolist()
-                times_list = a_times[order].tolist()
-                accepted = uniforms[order, row, :] < probability
-                for lo, hi in slices:
-                    key = int(sorted_keys[lo])
-                    col, b = key // 2, key % 2
-                    for copy in range(self.copies):
-                        lists = self._histories[row][b][copy]
-                        history = lists.get(col)
-                        if history is None:
-                            history = SampledHistoryList(
-                                probability=probability, rng=self._rng
-                            )
-                            lists[col] = history
-                        hits = np.flatnonzero(accepted[lo:hi, copy]).tolist()
-                        if hits:
-                            history.extend(
-                                [times_list[lo + k] for k in hits],
-                                [values_list[lo + k] for k in hits],
-                            )
-                    components[col][b] = values_list[hi - 1]
         self.total += int(counts.sum())
+
+    # ------------------------------------------------------------------ #
+    # Row-parallel plan: master pre-draws the full uniform block (its RNG
+    # advances exactly as in the serial plan) and ships each worker the
+    # per-row slices, so acceptance never depends on worker scheduling.
+    # ------------------------------------------------------------------ #
+
+    def _parallel_supported(self) -> bool:
+        return True
+
+    def _worker_handler(self, index: int, nworkers: int) -> _SampledRowWorker:
+        return _SampledRowWorker(self, index, nworkers)
+
+    def _ingest_batch_parallel(
+        self,
+        times: np.ndarray,
+        items: np.ndarray,
+        counts: np.ndarray,
+        pool: WorkerPool,
+    ) -> None:
+        magnitudes = np.abs(counts)
+        active = np.flatnonzero(magnitudes > 0)
+        m = int(active.shape[0])
+        if m:
+            a_items = items[active]
+            a_times = times[active]
+            a_mags = magnitudes[active]
+            a_counts = counts[active]
+            columns = self.buckets.buckets_many(a_items)
+            signs = self.signs.signs_many(a_items)
+            uniforms = bulk_uniforms(
+                self._rng, m * self.depth * self.copies
+            ).reshape(m, self.depth, self.copies)
+            payloads = []
+            for index in range(pool.nworkers):
+                rows = {}
+                for row in range(index, self.depth, pool.nworkers):
+                    b_flags = (signs[row] * a_counts > 0).astype(np.int64)
+                    rows[row] = (columns[row], b_flags, uniforms[:, row, :])
+                payloads.append((a_times, a_mags, rows))
+            pool.feed(payloads)
+        self.total += int(counts.sum())
+
+    def _install_worker_states(self, states: list) -> None:
+        for state in states:
+            for row, components, histories_row in state:
+                self._components[row] = components
+                for by_sign in histories_row:
+                    for lists in by_sign:
+                        for history in lists.values():
+                            # Collected lists carry a pickled *copy* of
+                            # the sketch RNG; rewire them to the master's
+                            # single RNG so any later scalar offer draws
+                            # from the exact serial sequence.
+                            history._rng = self._rng
+                self._histories[row] = histories_row
 
     # ------------------------------------------------------------------ #
     # Counter reconstruction
@@ -217,6 +342,7 @@ class PersistentAMS(PersistentSketch):
 
     def counter_estimate(self, row: int, col: int, t: float, copy: int = 0) -> float:
         """Unbiased estimate of counter ``C[row][col]`` at time ``t``."""
+        self._ensure_synced()
         if t <= 0:
             return 0.0
         return self._component_at(row, 1, copy, col, t) - self._component_at(
@@ -254,6 +380,7 @@ class PersistentAMS(PersistentSketch):
         calling this method again after further ingest (holistic queries
         issued after new updates silently fall back to binary searches).
         """
+        self._ensure_synced()
         timeline = {}
         for row in range(self.depth):
             for b in range(2):
@@ -352,6 +479,7 @@ class PersistentAMS(PersistentSketch):
                 "join-size estimation requires sketches with identical "
                 "width, depth and hash seed"
             )
+        other._ensure_synced()
         s, t = self._resolve_window(s, t)
         row_estimates = []
         use_timeline = self._timeline_fresh() and other._timeline_fresh()
@@ -389,6 +517,7 @@ class PersistentAMS(PersistentSketch):
     # ------------------------------------------------------------------ #
 
     def persistence_words(self) -> int:
+        self._ensure_synced()
         return sum(
             history.words()
             for row_hist in self._histories

@@ -27,7 +27,19 @@ from repro.core import columnar
 from repro.core.base import PersistentSketch
 from repro.hashing import BucketHashFamily, HashConfig
 from repro.hashing.families import IdentityHashFamily
+from repro.parallel.pool import WorkerPool
 from repro.persistence.tracker import CounterTracker, PLATracker, PWCTracker
+
+
+def _pla_tracker_factory(delta: float, initial_value: float) -> PLATracker:
+    """Default tracker factory; module-level so sketches stay picklable
+    (shard and level sub-sketches cross worker pipes whole)."""
+    return PLATracker(delta=delta, initial_value=initial_value)
+
+
+def _pwc_tracker_factory(delta: float, initial_value: float) -> PWCTracker:
+    """PWC tracker factory; module-level for the same pickling reason."""
+    return PWCTracker(delta=delta, initial_value=initial_value)
 
 
 class PersistentCountMin(PersistentSketch):
@@ -59,8 +71,9 @@ class PersistentCountMin(PersistentSketch):
         seed: int = 0,
         tracker_factory: Callable[[float, float], CounterTracker] | None = None,
         hashes: BucketHashFamily | IdentityHashFamily | None = None,
+        workers: int = 1,
     ):
-        super().__init__()
+        super().__init__(workers=workers)
         self.width = width
         self.depth = depth
         self.delta = float(delta)
@@ -70,10 +83,7 @@ class PersistentCountMin(PersistentSketch):
         )
         if self.hashes.width != width or self.hashes.depth != depth:
             raise ValueError("hash family shape does not match sketch shape")
-        factory = tracker_factory or (
-            lambda d, v0: PLATracker(delta=d, initial_value=v0)
-        )
-        self._tracker_factory = factory
+        self._tracker_factory = tracker_factory or _pla_tracker_factory
         # Current counter values and lazily created per-counter trackers.
         self._counters: list[list[int]] = [
             [0] * width for _ in range(depth)
@@ -118,8 +128,44 @@ class PersistentCountMin(PersistentSketch):
             )
         self.total += int(counts.sum())
 
+    # ------------------------------------------------------------------ #
+    # Row-parallel plan (hash rows evolve independently; Section 3.2)
+    # ------------------------------------------------------------------ #
+
+    def _parallel_supported(self) -> bool:
+        return True
+
+    def _make_tracker(self) -> CounterTracker:
+        return self._tracker_factory(self.delta, 0.0)
+
+    def _worker_handler(
+        self, index: int, nworkers: int
+    ) -> columnar.TrackedRowWorker:
+        return columnar.TrackedRowWorker(
+            self._counters, self._trackers, self._make_tracker, index, nworkers
+        )
+
+    def _ingest_batch_parallel(
+        self,
+        times: np.ndarray,
+        items: np.ndarray,
+        counts: np.ndarray,
+        pool: WorkerPool,
+    ) -> None:
+        columns = self.hashes.buckets_many(items)
+        columnar.feed_rows_parallel(
+            pool,
+            times,
+            [(columns[row], counts) for row in range(self.depth)],
+        )
+        self.total += int(counts.sum())
+
+    def _install_worker_states(self, states: list) -> None:
+        columnar.install_row_states(self._counters, self._trackers, states)
+
     def finalize(self) -> None:
         """Flush open PLA runs.  Optional: queries also work mid-stream."""
+        self.detach_workers()
         for trackers in self._trackers:
             for tracker in trackers.values():
                 tracker.finalize()
@@ -130,6 +176,7 @@ class PersistentCountMin(PersistentSketch):
 
     def counter_at(self, row: int, col: int, t: float) -> float:
         """Approximate value of counter ``C[row][col]`` at time ``t``."""
+        self._ensure_synced()
         tracker = self._trackers[row].get(col)
         if tracker is None:
             return 0.0
@@ -176,6 +223,7 @@ class PersistentCountMin(PersistentSketch):
     # ------------------------------------------------------------------ #
 
     def persistence_words(self) -> int:
+        self._ensure_synced()
         return sum(
             tracker.words()
             for trackers in self._trackers
@@ -199,14 +247,14 @@ class PWCCountMin(PersistentCountMin):
         delta: float,
         seed: int = 0,
         hashes: BucketHashFamily | IdentityHashFamily | None = None,
+        workers: int = 1,
     ):
         super().__init__(
             width=width,
             depth=depth,
             delta=delta,
             seed=seed,
-            tracker_factory=lambda d, v0: PWCTracker(
-                delta=d, initial_value=v0
-            ),
+            tracker_factory=_pwc_tracker_factory,
             hashes=hashes,
+            workers=workers,
         )

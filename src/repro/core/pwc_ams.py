@@ -17,7 +17,8 @@ import numpy as np
 from repro.core import columnar
 from repro.core.base import PersistentSketch
 from repro.hashing import BucketHashFamily, HashConfig, SignHashFamily
-from repro.persistence.tracker import PWCTracker
+from repro.parallel.pool import WorkerPool
+from repro.persistence.tracker import CounterTracker, PWCTracker
 
 
 class PWCAMS(PersistentSketch):
@@ -25,8 +26,15 @@ class PWCAMS(PersistentSketch):
 
     name = "PWC_AMS"
 
-    def __init__(self, width: int, depth: int, delta: float, seed: int = 0):
-        super().__init__()
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        delta: float,
+        seed: int = 0,
+        workers: int = 1,
+    ):
+        super().__init__(workers=workers)
         self.width = width
         self.depth = depth
         self.delta = float(delta)
@@ -75,8 +83,48 @@ class PWCAMS(PersistentSketch):
             )
         self.total += int(counts.sum())
 
+    # ------------------------------------------------------------------ #
+    # Row-parallel plan (rows independent given bucket/sign columns)
+    # ------------------------------------------------------------------ #
+
+    def _parallel_supported(self) -> bool:
+        return True
+
+    def _make_tracker(self) -> CounterTracker:
+        return PWCTracker(delta=self.delta, initial_value=0.0)
+
+    def _worker_handler(
+        self, index: int, nworkers: int
+    ) -> columnar.TrackedRowWorker:
+        return columnar.TrackedRowWorker(
+            self._counters, self._trackers, self._make_tracker, index, nworkers
+        )
+
+    def _ingest_batch_parallel(
+        self,
+        times: np.ndarray,
+        items: np.ndarray,
+        counts: np.ndarray,
+        pool: WorkerPool,
+    ) -> None:
+        columns = self.buckets.buckets_many(items)
+        signs = self.signs.signs_many(items)
+        columnar.feed_rows_parallel(
+            pool,
+            times,
+            [
+                (columns[row], signs[row] * counts)
+                for row in range(self.depth)
+            ],
+        )
+        self.total += int(counts.sum())
+
+    def _install_worker_states(self, states: list) -> None:
+        columnar.install_row_states(self._counters, self._trackers, states)
+
     def counter_at(self, row: int, col: int, t: float) -> float:
         """Approximate value of counter ``C[row][col]`` at time ``t``."""
+        self._ensure_synced()
         tracker = self._trackers[row].get(col)
         if tracker is None:
             return 0.0
@@ -128,6 +176,7 @@ class PWCAMS(PersistentSketch):
                 "join-size estimation requires sketches with identical "
                 "width, depth and hash seed"
             )
+        other._ensure_synced()
         s, t = self._resolve_window(s, t)
         row_estimates = []
         for row in range(self.depth):
@@ -141,6 +190,7 @@ class PWCAMS(PersistentSketch):
         return median(row_estimates)
 
     def persistence_words(self) -> int:
+        self._ensure_synced()
         return sum(
             tracker.words()
             for trackers in self._trackers

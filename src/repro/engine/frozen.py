@@ -40,6 +40,7 @@ sketch may keep ingesting afterwards without affecting the snapshot.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from statistics import median
 from typing import Sequence
 
@@ -50,13 +51,54 @@ from repro.core.persistent_ams import PersistentAMS
 from repro.core.persistent_countmin import PersistentCountMin
 from repro.core.pwc_ams import PWCAMS
 from repro.engine.batch import _batch_signs, batch_hash_columns
+from repro.parallel.pool import fork_available, parallel_map
 from repro.store.sharded import ShardedPersistentSketch
 
 #: Rank-key overflow guard: fall back to per-query bisects when
 #: ``n_slots * span`` would not fit comfortably in int64.
 _KEY_LIMIT = 2**62
 
+#: Minimum ``point_many`` batch size worth forking for: below this the
+#: fork + result-pickle overhead dwarfs the per-query work.
+_FANOUT_MIN = 4096
+
 Window = tuple[float, float]
+
+
+def _fanout_point_many(
+    engine, items: np.ndarray, ss: np.ndarray, ts: np.ndarray
+) -> np.ndarray:
+    """Split a resolved probe batch into per-worker slabs.
+
+    Every probe is evaluated independently by ``_point_many_serial``
+    (unique-item dedup is a per-slab optimization that cannot change any
+    probe's answer), so concatenating slab results is bit-equal to one
+    serial call.
+    """
+    workers = getattr(engine, "workers", 1)
+    n = len(items)
+    if workers <= 1 or n < _FANOUT_MIN or not fork_available():
+        return engine._point_many_serial(items, ss, ts)
+    step = -(-n // workers)
+    bounds = [(lo, min(lo + step, n)) for lo in range(0, n, step)]
+    parts = parallel_map(
+        lambda b: engine._point_many_serial(
+            items[b[0] : b[1]], ss[b[0] : b[1]], ts[b[0] : b[1]]
+        ),
+        bounds,
+        workers,
+    )
+    return np.concatenate(parts)
+
+
+def _median_floats(vals: list[float]) -> float:
+    """``np.median`` of a small 1-D float list, replicated exactly:
+    sort, middle element (odd) or mean of the two middles (even)."""
+    vals = sorted(vals)
+    mid = len(vals) // 2
+    if len(vals) % 2:
+        return float(vals[mid])
+    return float((vals[mid - 1] + vals[mid]) / 2.0)
 
 
 def _resolve_window(s: float, t: float | None, now: int) -> Window:
@@ -332,19 +374,131 @@ class _ColumnTable:
         return self.eval(slots, np.ones(len(slots), dtype=bool), ts)
 
 
-def _tracker_table(rows: list[dict]) -> _ColumnTable:
-    """Columnar table of PLA/PWC trackers, all sketch rows concatenated."""
+class _ScalarPointCache:
+    """Plain-Python mirror of a segment table for one-probe ``point``.
+
+    The vectorized path pays ~150µs of numpy dispatch (array wrapping,
+    unique-dedup, fancy indexing) per call even for a single probe; a
+    scalar probe needs two ``bisect`` calls and a handful of float ops
+    per row.  Values replicate :meth:`_ColumnTable.eval` exactly — same
+    truncation, clamp and multiply-add on the same floats — so the fast
+    path stays bit-equal to ``point_many`` (pinned by tests).
+
+    Built lazily on the first scalar ``point`` call; costs one pass over
+    the table (tolist) and is dropped from nothing — frozen tables are
+    immutable.
+    """
+
+    __slots__ = (
+        "slot_of",
+        "offsets",
+        "starts",
+        "starts_f",
+        "ends_f",
+        "slopes",
+        "values",
+        "initials",
+    )
+
+    def __init__(self, table: _ColumnTable) -> None:
+        self.slot_of: list[dict[int, int]] = []
+        for row in range(table.n_rows):
+            lo = int(table.row_offsets[row])
+            cols = table.row_cols(row).tolist()
+            self.slot_of.append(
+                {col: lo + i for i, col in enumerate(cols)}
+            )
+        self.offsets = table.offsets.tolist()
+        self.starts = table.starts.tolist()
+        self.starts_f = table.starts_f.tolist()
+        self.ends_f = table.ends_f.tolist()
+        self.slopes = table.slopes.tolist()
+        self.values = table.values.tolist()
+        self.initials = table.initials.tolist()
+
+    def value_at(self, slot: int, t: float) -> float:
+        """Counter value at ``t`` — scalar replay of ``eval``."""
+        lo = self.offsets[slot]
+        # int() truncates like eval's astype(int64); resolved t >= 0.
+        pos = bisect_right(self.starts, int(t), lo, self.offsets[slot + 1]) - 1
+        if pos < lo:
+            return self.initials[slot]
+        st = self.starts_f[pos]
+        tc = min(max(float(t), st), self.ends_f[pos])
+        return self.values[pos] + self.slopes[pos] * (tc - st)
+
+    def window_diffs(
+        self, cols: Sequence[int], s: float, t: float
+    ) -> list[float]:
+        """``value(t) - (value(s) if s > 0 else 0.0)`` per sketch row.
+
+        One fused loop over the rows with :meth:`value_at` inlined —
+        the per-row call pair costs more than the bisects on this path,
+        which runs once per scalar ``point``.  Untracked columns
+        contribute 0.0, exactly like ``eval``'s invalid slots.
+        """
+        offsets = self.offsets
+        starts = self.starts
+        starts_f = self.starts_f
+        ends_f = self.ends_f
+        slopes = self.slopes
+        values = self.values
+        initials = self.initials
+        ti, tf = int(t), float(t)
+        si, sf = int(s), float(s)
+        take_low = s > 0
+        diffs = []
+        for row, col in enumerate(cols):
+            slot = self.slot_of[row].get(col)
+            if slot is None:
+                diffs.append(0.0)
+                continue
+            lo = offsets[slot]
+            hi = offsets[slot + 1]
+            pos = bisect_right(starts, ti, lo, hi) - 1
+            if pos < lo:
+                high = initials[slot]
+            else:
+                st = starts_f[pos]
+                tc = min(max(tf, st), ends_f[pos])
+                high = values[pos] + slopes[pos] * (tc - st)
+            if take_low:
+                pos = bisect_right(starts, si, lo, hi) - 1
+                if pos < lo:
+                    high -= initials[slot]
+                else:
+                    st = starts_f[pos]
+                    tc = min(max(sf, st), ends_f[pos])
+                    high -= values[pos] + slopes[pos] * (tc - st)
+            diffs.append(high)
+        return diffs
+
+
+def _export_tracker_row(trackers: dict) -> tuple[list[int], list, list[float]]:
+    """One sketch row's sorted columns, exported arrays and initials."""
+    ordered = sorted(trackers)
+    exports = [trackers[col].export_arrays() for col in ordered]
+    initials = [trackers[col].initial_value for col in ordered]
+    return ordered, exports, initials
+
+
+def _tracker_table(rows: list[dict], workers: int = 1) -> _ColumnTable:
+    """Columnar table of PLA/PWC trackers, all sketch rows concatenated.
+
+    ``workers > 1`` exports the per-row tracker arrays in forked
+    children (rows are independent; export is read-only after
+    finalize), concatenating on the master in row order.
+    """
+    per_row = parallel_map(_export_tracker_row, rows, workers)
     row_offsets = np.zeros(len(rows) + 1, dtype=np.int64)
     ordered_cols: list[int] = []
     exports = []
     initials: list[float] = []
-    for r, trackers in enumerate(rows):
-        ordered = sorted(trackers)
+    for r, (ordered, row_exports, row_initials) in enumerate(per_row):
         row_offsets[r + 1] = row_offsets[r] + len(ordered)
         ordered_cols.extend(ordered)
-        for col in ordered:
-            exports.append(trackers[col].export_arrays())
-            initials.append(trackers[col].initial_value)
+        exports.extend(row_exports)
+        initials.extend(row_initials)
     offsets = np.zeros(len(exports) + 1, dtype=np.int64)
     for i, (starts, _e, _sl, _v) in enumerate(exports):
         offsets[i + 1] = offsets[i] + len(starts)
@@ -426,14 +580,20 @@ def _expand_unique(
 class FrozenCountMin:
     """Frozen :class:`PersistentCountMin` / :class:`PWCCountMin` snapshot."""
 
-    def __init__(self, sketch: PersistentCountMin) -> None:
+    def __init__(
+        self, sketch: PersistentCountMin, workers: int | None = None
+    ) -> None:
         sketch.finalize()
+        self.workers = (
+            workers if workers is not None else getattr(sketch, "workers", 1)
+        )
         self.width = sketch.width
         self.depth = sketch.depth
         self.now = sketch.now
         self.name = f"frozen({sketch.name})"
         self.hashes = sketch.hashes
-        self._table = _tracker_table(sketch._trackers)
+        self._table = _tracker_table(sketch._trackers, workers=self.workers)
+        self._scalar_cache: _ScalarPointCache | None = None
 
     # -- point ---------------------------------------------------------- #
 
@@ -447,12 +607,18 @@ class FrozenCountMin:
         ``windows`` is a single ``(s, t)`` pair applied to every item, a
         sequence (or ``(n, 2)`` array) of per-item pairs, or ``None``
         for ``(0, now]``.  Bit-equal to calling :meth:`point` per probe.
+        Large batches fan out over ``workers`` forked children.
         """
         items = np.asarray(items, dtype=np.int64)
         n = len(items)
         if n == 0:
             return np.empty(0, dtype=np.float64)
         ss, ts = _window_arrays(windows, n, self.now)
+        return _fanout_point_many(self, items, ss, ts)
+
+    def _point_many_serial(
+        self, items: np.ndarray, ss: np.ndarray, ts: np.ndarray
+    ) -> np.ndarray:
         unique, inverse = np.unique(items, return_inverse=True)
         cols = batch_hash_columns(self.hashes, unique)
         slots, valid = self._table.locate_rows(cols)
@@ -463,9 +629,15 @@ class FrozenCountMin:
         return np.median(estimates, axis=0)
 
     def point(self, item: int, s: float = 0, t: float | None = None) -> float:
-        """Estimate ``f_item(s, t]`` from the frozen snapshot."""
+        """Estimate ``f_item(s, t]``: scalar fast path, bit-equal to
+        ``point_many([item], (s, t))`` (no array wrapping or dedup)."""
         s, t = _resolve_window(s, t, self.now)
-        return float(self.point_many([item], (s, t))[0])
+        cache = self._scalar_cache
+        if cache is None:
+            cache = self._scalar_cache = _ScalarPointCache(self._table)
+        return _median_floats(
+            cache.window_diffs(self.hashes.buckets(item), s, t)
+        )
 
     # -- self-join ------------------------------------------------------ #
 
@@ -491,14 +663,19 @@ class FrozenCountMin:
 class FrozenPWCAMS:
     """Frozen :class:`PWCAMS` snapshot (signed trackers)."""
 
-    def __init__(self, sketch: PWCAMS) -> None:
+    def __init__(self, sketch: PWCAMS, workers: int | None = None) -> None:
+        self.workers = (
+            workers if workers is not None else getattr(sketch, "workers", 1)
+        )
+        sketch.detach_workers()
         self.width = sketch.width
         self.depth = sketch.depth
         self.now = sketch.now
         self.name = f"frozen({sketch.name})"
         self.buckets = sketch.buckets
         self.signs = sketch.signs
-        self._table = _tracker_table(sketch._trackers)
+        self._table = _tracker_table(sketch._trackers, workers=self.workers)
+        self._scalar_cache: _ScalarPointCache | None = None
 
     def point_many(
         self,
@@ -511,6 +688,11 @@ class FrozenPWCAMS:
         if n == 0:
             return np.empty(0, dtype=np.float64)
         ss, ts = _window_arrays(windows, n, self.now)
+        return _fanout_point_many(self, items, ss, ts)
+
+    def _point_many_serial(
+        self, items: np.ndarray, ss: np.ndarray, ts: np.ndarray
+    ) -> np.ndarray:
         unique, inverse = np.unique(items, return_inverse=True)
         cols = batch_hash_columns(self.buckets, unique)
         sgns = _batch_signs(self.signs, unique)[inverse]
@@ -522,9 +704,17 @@ class FrozenPWCAMS:
         return np.median(estimates, axis=0)
 
     def point(self, item: int, s: float = 0, t: float | None = None) -> float:
-        """Estimate ``f_item(s, t]`` from the frozen snapshot."""
+        """Estimate ``f_item(s, t]``: scalar fast path, bit-equal to
+        ``point_many([item], (s, t))``."""
         s, t = _resolve_window(s, t, self.now)
-        return float(self.point_many([item], (s, t))[0])
+        cache = self._scalar_cache
+        if cache is None:
+            cache = self._scalar_cache = _ScalarPointCache(self._table)
+        diffs = cache.window_diffs(self.buckets.buckets(item), s, t)
+        sgns = self.signs.signs(item)
+        return _median_floats(
+            [sgn * diff for sgn, diff in zip(sgns, diffs)]
+        )
 
     def self_join_size(self, s: float = 0, t: float | None = None) -> float:
         """Biased self-join estimate (median over rows), as live."""
@@ -544,26 +734,38 @@ class FrozenPWCAMS:
 class FrozenAMS:
     """Frozen :class:`PersistentAMS` snapshot (sampled history lists)."""
 
-    def __init__(self, sketch: PersistentAMS) -> None:
+    def __init__(self, sketch: PersistentAMS, workers: int | None = None) -> None:
+        self.workers = (
+            workers if workers is not None else getattr(sketch, "workers", 1)
+        )
+        sketch.detach_workers()
         self.width = sketch.width
         self.depth = sketch.depth
         self.now = sketch.now
         self.copies = sketch.copies
-        self.name = f"frozen(Sample)"
+        self.name = "frozen(Sample)"
         self.buckets = sketch.buckets
         self.signs = sketch.signs
         # _tables[b][copy]: all sketch rows of one (sign, copy) component.
+        # The 2 * copies tables are independent read-only compilations,
+        # built in forked children when workers allow.
+        pairs = [
+            (b, copy) for b in range(2) for copy in range(sketch.copies)
+        ]
+        tables = parallel_map(
+            lambda bc: _history_table(
+                [
+                    sketch._histories[row][bc[0]][bc[1]]
+                    for row in range(sketch.depth)
+                ],
+                sketch.probability,
+            ),
+            pairs,
+            self.workers,
+        )
+        copies = sketch.copies
         self._tables = [
-            [
-                _history_table(
-                    [
-                        sketch._histories[row][b][copy]
-                        for row in range(sketch.depth)
-                    ],
-                    sketch.probability,
-                )
-                for copy in range(sketch.copies)
-            ]
+            [tables[b * copies + copy] for copy in range(copies)]
             for b in range(2)
         ]
 
@@ -578,6 +780,12 @@ class FrozenAMS:
         if n == 0:
             return np.empty(0, dtype=np.float64)
         ss, ts = _window_arrays(windows, n, self.now)
+        return _fanout_point_many(self, items, ss, ts)
+
+    def _point_many_serial(
+        self, items: np.ndarray, ss: np.ndarray, ts: np.ndarray
+    ) -> np.ndarray:
+        n = len(items)
         unique, inverse = np.unique(items, return_inverse=True)
         cols = batch_hash_columns(self.buckets, unique)
         sgns = _batch_signs(self.signs, unique)[inverse]
@@ -661,15 +869,27 @@ class FrozenAMS:
 class FrozenHeavyHitters:
     """Frozen :class:`PersistentHeavyHitters` (dyadic stack + mass)."""
 
-    def __init__(self, structure: PersistentHeavyHitters) -> None:
+    def __init__(
+        self, structure: PersistentHeavyHitters, workers: int | None = None
+    ) -> None:
+        self.workers = (
+            workers if workers is not None else getattr(structure, "workers", 1)
+        )
+        # Master-side finalize first: it drains any worker pool and
+        # flushes open PLA runs in every level, so the (idempotent)
+        # re-finalize inside each forked child's FrozenCountMin build is
+        # a no-op and child-side mutations never matter.
         structure.finalize()
         self.universe = structure.universe
         self.levels = structure.levels
         self.now = structure.now
         self.name = f"frozen({structure.name})"
-        self._sketches = [
-            FrozenCountMin(sketch) for sketch in structure._sketches
-        ]
+        self._sketches = parallel_map(
+            FrozenCountMin, structure._sketches, self.workers
+        )
+        # point/point_many delegate to the leaf level; give it this
+        # snapshot's fan-out width (levels themselves are serial).
+        self._sketches[0].workers = self.workers
         self._mass = _tracker_table([{0: structure._mass}])
 
     def _mass_at(self, t: float) -> float:
@@ -747,18 +967,52 @@ class FrozenHeavyHitters:
 class FrozenShardedSketch:
     """Frozen :class:`ShardedPersistentSketch`: per-shard frozen snapshots."""
 
-    def __init__(self, store: ShardedPersistentSketch) -> None:
+    def __init__(
+        self, store: ShardedPersistentSketch, workers: int | None = None
+    ) -> None:
+        self.workers = (
+            workers if workers is not None else getattr(store, "workers", 1)
+        )
+        store.detach_workers()
         self.shard_length = store.shard_length
         self.now = store.now
         self.name = "frozen(sharded)"
         self._dropped_through = store._dropped_through
+        ordered = sorted(store._shards.items())
+        # Finalize on the master before forking: finalize() mutates the
+        # live shard (flushing open PLA runs) and forked children's
+        # mutations are discarded, so each child must inherit
+        # already-final state.  The per-shard freeze itself is read-only
+        # after that and parallelizes cleanly.
+        for _, shard in ordered:
+            finalize = getattr(shard, "finalize", None)
+            if finalize is not None:
+                finalize()
+        frozen = parallel_map(
+            lambda pair: freeze(pair[1]), ordered, self.workers
+        )
         self._shards = {
-            shard_id: freeze(shard)
-            for shard_id, shard in sorted(store._shards.items())
+            shard_id: snapshot
+            for (shard_id, _), snapshot in zip(ordered, frozen)
         }
 
     def _shard_id(self, time: float) -> int:
         return (int(time) - 1) // self.shard_length
+
+    def _window_shard_spans(
+        self, ss: np.ndarray, ts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """First/last shard ids per window, matching the scalar
+        ``_shard_id(s + 1)`` / ``_shard_id(t)`` arithmetic.
+
+        ``astype`` truncation equals ``int()`` for the non-negative
+        inputs here, and ``(t - 1) // L`` already yields ``first - 1``
+        when ``t`` truncates to 0 (empty window), so one expression
+        covers both scalar branches.
+        """
+        firsts = ((ss + 1).astype(np.int64) - 1) // self.shard_length
+        lasts = (ts.astype(np.int64) - 1) // self.shard_length
+        return firsts, lasts
 
     def point_many(
         self,
@@ -776,16 +1030,22 @@ class FrozenShardedSketch:
         if n == 0:
             return np.empty(0, dtype=np.float64)
         ss, ts = _window_arrays(windows, n, self.now)
-        firsts = np.empty(n, dtype=np.int64)
-        lasts = np.empty(n, dtype=np.int64)
-        for i in range(n):
-            firsts[i] = self._shard_id(ss[i] + 1)
-            lasts[i] = self._shard_id(ts[i]) if ts[i] > 0 else firsts[i] - 1
-            if firsts[i] <= self._dropped_through and ss[i] < ts[i]:
-                raise ValueError(
-                    "window reaches into expired shards; narrow s past "
-                    "the retention boundary"
-                )
+        # Validate retention on the master: a fanned-out slab would
+        # surface this as a worker failure instead of the live path's
+        # ValueError.
+        firsts, _ = self._window_shard_spans(ss, ts)
+        if ((firsts <= self._dropped_through) & (ss < ts)).any():
+            raise ValueError(
+                "window reaches into expired shards; narrow s past "
+                "the retention boundary"
+            )
+        return _fanout_point_many(self, items, ss, ts)
+
+    def _point_many_serial(
+        self, items: np.ndarray, ss: np.ndarray, ts: np.ndarray
+    ) -> np.ndarray:
+        n = len(items)
+        firsts, lasts = self._window_shard_spans(ss, ts)
         totals = np.zeros(n, dtype=np.float64)
         for shard_id, shard in self._shards.items():
             start = shard_id * self.shard_length
@@ -827,6 +1087,7 @@ def freeze(
     | PersistentAMS
     | PersistentHeavyHitters
     | ShardedPersistentSketch,
+    workers: int | None = None,
 ) -> (
     FrozenCountMin
     | FrozenPWCAMS
@@ -836,22 +1097,28 @@ def freeze(
 ):
     """Compile a live persistent sketch into a frozen columnar snapshot.
 
-    Finalizes the sketch (flushing open PLA runs) and snapshots its
-    histories as of ``sketch.now``.  The returned object answers
-    ``point`` / ``point_many`` / ``self_join_size`` (and, for the dyadic
-    structure, ``heavy_hitters`` / ``window_mass``) with answers
-    bit-equal to the live query path at a fraction of the cost.
+    Finalizes the sketch (flushing open PLA runs, draining any worker
+    pool) and snapshots its histories as of ``sketch.now``.  The
+    returned object answers ``point`` / ``point_many`` /
+    ``self_join_size`` (and, for the dyadic structure,
+    ``heavy_hitters`` / ``window_mass``) with answers bit-equal to the
+    live query path at a fraction of the cost.  ``workers`` sets the
+    snapshot's fan-out width for table construction and large
+    ``point_many`` batches (default: the sketch's own pool width).
     """
+    detach = getattr(sketch, "detach_workers", None)
+    if callable(detach):
+        detach()
     if isinstance(sketch, PersistentCountMin):
-        return FrozenCountMin(sketch)
+        return FrozenCountMin(sketch, workers=workers)
     if isinstance(sketch, PWCAMS):
-        return FrozenPWCAMS(sketch)
+        return FrozenPWCAMS(sketch, workers=workers)
     if isinstance(sketch, PersistentAMS):
-        return FrozenAMS(sketch)
+        return FrozenAMS(sketch, workers=workers)
     if isinstance(sketch, PersistentHeavyHitters):
-        return FrozenHeavyHitters(sketch)
+        return FrozenHeavyHitters(sketch, workers=workers)
     if isinstance(sketch, ShardedPersistentSketch):
-        return FrozenShardedSketch(sketch)
+        return FrozenShardedSketch(sketch, workers=workers)
     raise TypeError(
         f"freeze() does not support {type(sketch).__name__}; supported: "
         f"PersistentCountMin, PWCCountMin, PWCAMS, PersistentAMS, "

@@ -1,0 +1,27 @@
+"""Multi-core parallel execution layer.
+
+Row/shard/level-parallel ingestion over long-lived forked worker pools
+(:class:`WorkerPool`) and one-shot read-only fan-out
+(:func:`parallel_map`), with a deterministic in-process fallback when
+``workers=1`` or the platform lacks ``fork``.  Parallel output is
+bit-identical to serial for every sketch type — see ``docs/api.md``
+("Parallel execution") for the determinism contract.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.errors import IngestError
+from repro.parallel.pool import (
+    WorkerHandler,
+    WorkerPool,
+    fork_available,
+    parallel_map,
+)
+
+__all__ = [
+    "IngestError",
+    "WorkerHandler",
+    "WorkerPool",
+    "fork_available",
+    "parallel_map",
+]

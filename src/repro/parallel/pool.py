@@ -1,0 +1,328 @@
+"""Fork-based worker pools with task affinity.
+
+Two execution primitives back the multi-core layer:
+
+:class:`WorkerPool`
+    Long-lived forked workers with *state ownership*: worker ``i`` of
+    ``n`` owns a fixed partition of a sketch's independent state (hash
+    rows, time shards, dyadic levels) for the life of the pool.  Each
+    worker inherits the full sketch via fork (copy-on-write, nothing is
+    pickled on the way in), applies every ``feed`` to its owned
+    partition, and ships the partition state back only on ``collect`` —
+    the merge-at-finalize/checkpoint model of the paper's independent-row
+    observation.  A stock ``ProcessPoolExecutor`` cannot express this:
+    its tasks land on arbitrary idle workers, while row ownership needs
+    every batch's row-``r`` slice to reach the *same* process that holds
+    row ``r``'s trackers.
+
+:func:`parallel_map`
+    One-shot fan-out for read-only work (frozen table construction,
+    ``point_many`` slabs): ephemeral forked children evaluate a closure
+    over an index-strided task partition and return results over a pipe.
+    Falls back to an in-process loop when ``workers <= 1``, the platform
+    lacks fork, or the task list is tiny — the deterministic fallback
+    path, bit-identical by construction since the same function runs on
+    the same inputs in the same order.
+
+Neither primitive ever pickles closures or sketches *into* a worker
+(fork inheritance carries them); only results cross the pipe.  A worker
+that dies or raises surfaces as :class:`~repro.parallel.errors.IngestError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from multiprocessing.connection import Connection
+from typing import Any, Callable, Protocol, Sequence
+
+from repro.parallel.errors import IngestError
+
+_JOIN_TIMEOUT_S = 10.0
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms  # sketchlint: disable=SL004 — capability probe, any failure means "no fork"
+        return False
+
+
+class WorkerHandler(Protocol):
+    """What a sketch hands each forked worker (see ``_worker_handler``)."""
+
+    def feed(self, payload: Any) -> None:
+        """Apply one batch payload to the worker's owned partition."""
+
+    def collect(self) -> Any:
+        """Export the owned partition's state (pickled back to master)."""
+
+
+def _worker_main(
+    conn: Connection,
+    handler_factory: Callable[[int, int], WorkerHandler],
+    index: int,
+    nworkers: int,
+) -> None:
+    """Command loop of one forked worker."""
+    handler = handler_factory(index, nworkers)
+    while True:
+        try:
+            command, payload = conn.recv()
+        except (EOFError, OSError):  # master went away
+            break
+        if command == "exit":
+            break
+        try:
+            if command == "feed":
+                result = handler.feed(payload)
+            elif command == "collect":
+                result = handler.collect()
+            else:
+                raise ValueError(f"unknown worker command {command!r}")
+        except BaseException:  # sketchlint: disable=SL004 — forwarded to master as an ("err", traceback) reply
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except Exception:  # sketchlint: disable=SL004 — master gone; nothing left to report to
+                break
+            continue
+        try:
+            conn.send(("ok", result))
+        except Exception:  # sketchlint: disable=SL004 — master gone; nothing left to report to
+            break
+    conn.close()
+
+
+class WorkerPool:
+    """``nworkers`` forked processes, each owning a state partition.
+
+    ``handler_factory(index, nworkers)`` runs *inside* each forked child
+    and returns the worker's handler; because the child is a fork of the
+    master, the factory's closed-over sketch is the master's state at
+    pool-creation time, shared copy-on-write.
+    """
+
+    def __init__(
+        self,
+        nworkers: int,
+        handler_factory: Callable[[int, int], WorkerHandler],
+    ) -> None:
+        if nworkers < 2:
+            raise ValueError(f"a worker pool needs >= 2 workers, got {nworkers}")
+        if not fork_available():
+            raise IngestError(
+                "parallel execution needs the fork start method; "
+                "use workers=1 on this platform"
+            )
+        ctx = multiprocessing.get_context("fork")
+        self.nworkers = nworkers
+        self._conns: list[Connection] = []
+        self._procs: list[multiprocessing.process.BaseProcess] = []
+        self._closed = False
+        for index in range(nworkers):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, handler_factory, index, nworkers),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pids(self) -> list[int]:
+        """Child process ids (test hooks and diagnostics)."""
+        return [proc.pid or 0 for proc in self._procs]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    # Commands
+    # ------------------------------------------------------------------ #
+
+    def _fail(self, index: int, cause: BaseException | str) -> None:
+        proc = self._procs[index]
+        alive = proc.is_alive()
+        code = proc.exitcode
+        self.close(terminate=True)
+        detail = cause if isinstance(cause, str) else type(cause).__name__
+        raise IngestError(
+            f"parallel worker {index} (pid {proc.pid}) "
+            + (
+                f"raised:\n{detail}"
+                if isinstance(cause, str)
+                else f"became unreachable ({detail}; alive={alive}, "
+                f"exitcode={code})"
+            )
+        ) from (None if isinstance(cause, str) else cause)
+
+    def _roundtrip(self, command: str, payloads: Sequence[Any]) -> list[Any]:
+        """Send one command to every worker, gather every reply in order.
+
+        All sends go out before any reply is awaited, so workers run
+        concurrently; replies are drained in worker order (cheap — the
+        slowest worker bounds the wall clock either way).
+        """
+        if self._closed:
+            raise IngestError("worker pool is closed")
+        for index, payload in enumerate(payloads):
+            try:
+                self._conns[index].send((command, payload))
+            except (BrokenPipeError, OSError) as exc:
+                self._fail(index, exc)
+        results: list[Any] = []
+        for index in range(self.nworkers):
+            try:
+                status, value = self._conns[index].recv()
+            except (EOFError, OSError) as exc:
+                self._fail(index, exc)
+            if status != "ok":
+                self._fail(index, str(value))
+            results.append(value)
+        return results
+
+    def feed(self, payloads: Sequence[Any]) -> None:
+        """Apply one per-worker payload list; blocks until all acked."""
+        self._roundtrip("feed", payloads)
+
+    def collect(self) -> list[Any]:
+        """Export every worker's owned partition state, in worker order."""
+        return self._roundtrip("collect", [None] * self.nworkers)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self, terminate: bool = False) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not terminate:
+            for conn in self._conns:
+                try:
+                    conn.send(("exit", None))
+                except Exception:  # sketchlint: disable=SL004 — worker already dead; join below reaps it
+                    pass
+        for proc in self._procs:
+            if terminate:
+                proc.terminate()
+            proc.join(timeout=_JOIN_TIMEOUT_S)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=_JOIN_TIMEOUT_S)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:  # sketchlint: disable=SL004 — best-effort fd cleanup on shutdown
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close(terminate=True)
+        except Exception:  # sketchlint: disable=SL004 — finalizers must never raise
+            pass
+
+
+# --------------------------------------------------------------------- #
+# One-shot read-only fan-out
+# --------------------------------------------------------------------- #
+
+
+def _map_child(
+    conn: Connection,
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    index: int,
+    nworkers: int,
+) -> None:
+    try:
+        out = [fn(tasks[pos]) for pos in range(index, len(tasks), nworkers)]
+    except BaseException:  # sketchlint: disable=SL004 — forwarded to master as an ("err", traceback) reply
+        try:
+            conn.send(("err", traceback.format_exc()))
+        except Exception:  # sketchlint: disable=SL004 — master gone; nothing left to report to
+            pass
+    else:
+        try:
+            conn.send(("ok", out))
+        except Exception:  # sketchlint: disable=SL004 — master gone; nothing left to report to
+            pass
+    finally:
+        conn.close()
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    workers: int,
+    *,
+    min_tasks: int = 2,
+) -> list[Any]:
+    """``[fn(t) for t in tasks]`` over forked children, order preserved.
+
+    ``fn`` and ``tasks`` reach the children by fork inheritance (never
+    pickled), so closures over big read-only state — frozen tables, live
+    tracker dicts — cost nothing to ship; only each ``fn(t)`` result
+    crosses a pipe.  Runs in-process (bit-identically) when ``workers``
+    is 1, the platform lacks fork, or there are fewer than ``min_tasks``
+    tasks.  ``fn`` must not mutate shared state: children are discarded,
+    so only returned values survive.
+    """
+    tasks = list(tasks)
+    if workers <= 1 or len(tasks) < max(2, min_tasks) or not fork_available():
+        return [fn(task) for task in tasks]
+    workers = min(workers, len(tasks))
+    ctx = multiprocessing.get_context("fork")
+    conns: list[Connection] = []
+    procs: list[multiprocessing.process.BaseProcess] = []
+    for index in range(workers):
+        parent, child = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_map_child,
+            args=(child, fn, tasks, index, workers),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        conns.append(parent)
+        procs.append(proc)
+    results: list[Any] = [None] * len(tasks)
+    try:
+        for index, conn in enumerate(conns):
+            try:
+                status, value = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise IngestError(
+                    f"parallel map worker {index} (pid {procs[index].pid}) "
+                    f"died before returning results"
+                ) from exc
+            if status != "ok":
+                raise IngestError(
+                    f"parallel map worker {index} raised:\n{value}"
+                )
+            for pos, item in zip(
+                range(index, len(tasks), workers), value
+            ):
+                results[pos] = item
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:  # sketchlint: disable=SL004 — best-effort fd cleanup on shutdown
+                pass
+        for proc in procs:
+            proc.join(timeout=_JOIN_TIMEOUT_S)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_JOIN_TIMEOUT_S)
+    return results

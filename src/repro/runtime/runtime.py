@@ -96,11 +96,14 @@ class IngestRuntime:
         faults: FaultPlan | None = None,
         sleep: Callable[[float], None] | None = None,
         applied_seq: int = 0,
+        workers: int | None = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         self.directory = Path(directory)
         self.store = store
+        if workers is not None:
+            store.set_workers(workers)
         self.policy = policy or IngestPolicy()
         self.checkpoint_every = checkpoint_every
         self.faults = faults
@@ -130,6 +133,7 @@ class IngestRuntime:
         checkpoint_every: int = 1000,
         faults: FaultPlan | None = None,
         sleep: Callable[[float], None] | None = None,
+        workers: int | None = None,
     ) -> "IngestRuntime":
         """Initialize a fresh runtime directory around ``store``.
 
@@ -155,6 +159,7 @@ class IngestRuntime:
             checkpoint_every=checkpoint_every,
             faults=faults,
             sleep=sleep,
+            workers=workers,
         )
         runtime._checkpoint_inner(bootstrap=True)
         return runtime
@@ -168,6 +173,7 @@ class IngestRuntime:
         checkpoint_every: int = 1000,
         faults: FaultPlan | None = None,
         sleep: Callable[[float], None] | None = None,
+        workers: int | None = None,
     ) -> "IngestRuntime":
         """Rebuild the runtime from its directory after a crash.
 
@@ -229,6 +235,10 @@ class IngestRuntime:
             faults=faults,
             sleep=sleep,
             applied_seq=last_seq,
+            # WAL replay above ran serially on the freshly-opened store;
+            # the pool width only affects batches ingested from here on
+            # (and parallel batches are bit-equal to serial anyway).
+            workers=workers,
         )
         runtime.stats.replayed = replayed
         # Re-align the checkpoint schedule with an uninterrupted run:
@@ -243,7 +253,13 @@ class IngestRuntime:
         return runtime
 
     def close(self) -> None:
-        """Seal the WAL (no implicit checkpoint; state is already durable)."""
+        """Seal the WAL (no implicit checkpoint; state is already durable).
+
+        Worker pools are drained tolerantly: a poisoned pool is simply
+        released — its lost batch was durable in the WAL before dispatch,
+        so the next :meth:`recover` replays it.
+        """
+        self.store.drain_workers(strict=False)
         self.wal.close()
 
     # ------------------------------------------------------------------ #

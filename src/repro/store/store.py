@@ -89,6 +89,11 @@ class SketchStore:
         typically wider than ``width``.
     seed:
         Store-wide hash seed; all joinable streams share it.
+    workers:
+        Worker-pool width for every sketch's parallel batch plans
+        (1 = serial).  An execution-layer knob, not part of the durable
+        state: it is not persisted by :meth:`save` — pass it again (or
+        call :meth:`set_workers`) after :meth:`open`.
     """
 
     def __init__(
@@ -97,12 +102,48 @@ class SketchStore:
         depth: int = 5,
         join_width: int = 4096,
         seed: int = 0,
+        workers: int = 1,
     ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.width = width
         self.depth = depth
         self.join_width = join_width
         self.seed = seed
+        self.workers = int(workers)
         self._streams: dict[str, _StreamState] = {}
+
+    def _sketches(self):
+        for state in self._streams.values():
+            yield state.point_sketch
+            if state.hh_sketch is not None:
+                yield state.hh_sketch
+            if state.join_sketch is not None:
+                yield state.join_sketch
+
+    def set_workers(self, workers: int) -> None:
+        """Resize every sketch's worker pool (drains live pools first)."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        for sketch in self._sketches():
+            sketch.set_workers(workers)
+
+    def drain_workers(self, strict: bool = True) -> None:
+        """Merge and retire every sketch's worker pool.
+
+        With ``strict=False`` a poisoned pool (workers died with
+        unmerged updates) is released without raising — shutdown-path
+        semantics, where the WAL already holds the truth.
+        """
+        from repro.parallel import IngestError
+
+        for sketch in self._sketches():
+            try:
+                sketch.detach_workers()
+            except IngestError:
+                if strict:
+                    raise
 
     # ------------------------------------------------------------------ #
     # Stream management
@@ -117,6 +158,7 @@ class SketchStore:
             depth=self.depth,
             delta=spec.delta,
             seed=self.seed,
+            workers=self.workers,
         )
         hh_sketch = (
             PersistentHeavyHitters(
@@ -125,6 +167,7 @@ class SketchStore:
                 depth=self.depth,
                 delta=spec.delta,
                 seed=self.seed + 1,
+                workers=self.workers,
             )
             if spec.heavy_hitters or spec.quantiles
             else None
@@ -137,6 +180,7 @@ class SketchStore:
                 seed=self.seed,  # shared: mandatory for cross-stream joins
                 independent_copies=2,
                 sampling_seed=hash(spec.name) & 0x7FFFFFFF,
+                workers=self.workers,
             )
             if spec.joinable
             else None
@@ -308,6 +352,10 @@ class SketchStore:
         return directory
 
     def _write_contents(self, directory: Path) -> None:
+        # Snapshots must capture fully-merged state: drain every worker
+        # pool (strictly — a poisoned pool must fail the checkpoint, not
+        # persist half a batch) before any sketch is encoded.
+        self.drain_workers(strict=True)
         manifest = {
             "format": "repro-store",
             "version": 1,

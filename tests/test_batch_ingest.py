@@ -44,8 +44,17 @@ from repro.streams.model import Stream
 
 # Memoization caches (hash families) and weakref plumbing are not sketch
 # state: the scalar path warms per-item caches the vectorized path never
-# touches, by design.
-_NON_STATE_ATTRS = {"_cache", "__weakref__"}
+# touches, by design.  Worker-pool bookkeeping is execution plumbing the
+# parallel equality tests compare around (the pool itself holds no
+# sketch state once drained).
+_NON_STATE_ATTRS = {
+    "_cache",
+    "__weakref__",
+    "_workers",
+    "_pool",
+    "_pool_stale",
+    "_pool_broken",
+}
 
 
 def _slot_names(obj):

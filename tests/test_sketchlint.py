@@ -347,6 +347,71 @@ def test_sl010_suppression_for_scalar_references():
 
 
 # --------------------------------------------------------------------- #
+# SL011 — RNG shared across fork/pool dispatch
+# --------------------------------------------------------------------- #
+
+
+def test_sl011_flags_rng_near_pool_submit():
+    source = """
+        def dispatch(self, times, items, counts, pool):
+            draws = self._rng.random(len(times))
+            pool.feed([(times, items, counts)] * pool.nworkers)
+    """
+    assert "SL011" in codes(source)
+
+
+def test_sl011_flags_rng_captured_by_fork_launcher():
+    source = """
+        def launch(self, tasks):
+            rng = self._rng
+            return parallel_map(lambda t: rng.random(), tasks, 4)
+    """
+    assert "SL011" in codes(source)
+
+
+def test_sl011_passes_predrawn_and_spawned_generators():
+    predrawn = """
+        def dispatch(self, times, pool):
+            uniforms = bulk_uniforms(self._rng, len(times))
+            pool.feed([(uniforms, times)] * pool.nworkers)
+    """
+    assert "SL011" not in codes(predrawn)
+    spawned = """
+        def launch(self, tasks):
+            children = self._rng.spawn(4)
+            return parallel_map(run, list(zip(children, tasks)), 4)
+    """
+    assert "SL011" not in codes(spawned)
+
+
+def test_sl011_passes_rng_free_dispatch_and_non_pool_feed():
+    assert "SL011" not in codes(
+        """
+        def launch(tasks):
+            return parallel_map(compute, tasks, 4)
+        """
+    )
+    # tracker.feed is a tracker primitive, not a pool submission.
+    assert "SL011" not in codes(
+        """
+        def apply(self, tracker, times):
+            values = self._rng.random(len(times))
+            tracker.feed(times, values)
+        """
+    )
+
+
+def test_sl011_suppression_for_deliberate_broadcast():
+    source = (
+        "def launch(self, tasks):\n"
+        "    rng = self._rng\n"
+        "    return parallel_map(lambda t: rng.bit_count(), tasks, 4)  "
+        "# sketchlint: disable=SL011 — workers ignore the RNG\n"
+    )
+    assert "SL011" not in codes(source)
+
+
+# --------------------------------------------------------------------- #
 # Engine behaviour
 # --------------------------------------------------------------------- #
 
@@ -399,7 +464,10 @@ def test_run_lint_text_and_json(tmp_path):
 
 
 def test_rule_table_is_complete():
-    assert sorted(RULES) == [f"SL00{i}" for i in range(1, 10)] + ["SL010"]
+    assert sorted(RULES) == [f"SL00{i}" for i in range(1, 10)] + [
+        "SL010",
+        "SL011",
+    ]
     for cls in RULES.values():
         assert cls.summary and cls.rationale
 
