@@ -1,0 +1,495 @@
+"""Interprocedural sketchlint rules (SL012–SL015).
+
+These rules run on a :class:`~repro.analysis.callgraph.Project` — symbol
+table, call graph and dataflow summaries — so they see through the
+helper wrappers that defeat the per-module rules:
+
+* **SL012** durability escape: a non-atomic write (``write_text`` /
+  ``write_bytes`` / raw write-mode ``open``) reachable from any
+  ``store/`` / ``io/`` / ``runtime/`` function, wherever the write
+  itself lives.
+* **SL013** fork-shared mutable state: a callable shipped to
+  ``WorkerPool`` / ``parallel_map`` / ``Process`` that reads or mutates
+  state which exists on both sides of the fork — module globals,
+  closures, bound instance attributes.
+* **SL014** contract-coverage gap: an ingest-verb time-parameter
+  function reachable from public API with no monotonicity guard
+  anywhere on the call path (supersedes SL008's per-function check).
+* **SL015** unpropagated RNG state: forked work whose *callee chain*
+  consumes a seeded generator while no determinism plan (pre-draw,
+  spawn, state transplant) is visible anywhere around the dispatch.
+
+All four under-approximate: an unresolvable call contributes no edge,
+so every finding rests on an actual resolved path, which is quoted in
+the message (``entry -> wrapper -> sink``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import Project
+from repro.analysis.dataflow import DataflowSummary
+from repro.analysis.rules import (
+    INGEST_VERBS,
+    TIME_PARAMS,
+    ForkSharedRNGRule,
+    _decorator_name,
+    _is_stub_body,
+    _parts,
+)
+from repro.analysis.sketchlint import ProjectRule, register_project
+from repro.analysis.symbols import FunctionInfo
+
+#: Packages whose call trees constitute the durability layer.
+_DURABILITY_SCOPES = {"store", "io", "runtime"}
+
+#: Modules that implement the sanctioned atomic-write protocol; their
+#: raw file handles are the mechanism, not an escape.
+_SANCTIONED_WRITERS = {"repro.io.atomic"}
+
+_FORK_LAUNCHERS = ForkSharedRNGRule._FORK_LAUNCHERS
+_POOL_SUBMITS = ForkSharedRNGRule._POOL_SUBMITS
+_MITIGATIONS = ForkSharedRNGRule._MITIGATIONS
+
+
+def _in_durability_scope(path: str) -> bool:
+    parts = set(_parts(path))
+    return "src" in parts and bool(_DURABILITY_SCOPES & parts)
+
+
+def _arrow(path: list[str]) -> str:
+    """Render a call path for a finding message."""
+    return " -> ".join(path)
+
+
+def _open_write_mode(call: ast.Call) -> str | None:
+    """The write-ish mode string of an ``open()`` call, if any."""
+    func = call.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else ""
+    )
+    if name != "open":
+        return None
+    mode_node: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if not (isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str)):
+        return None
+    mode = mode_node.value
+    if any(flag in mode for flag in ("w", "a", "x", "+")):
+        return mode
+    return None
+
+
+def _calls_in_scope(fn: FunctionInfo) -> list[ast.Call]:
+    """Call expressions lexically inside ``fn``'s own scope."""
+    calls: list[ast.Call] = []
+    stack: list[ast.AST] = [fn.node]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ) and child is not fn.node:
+                continue  # nested scopes are their own symbol-table entries
+            if isinstance(child, ast.Call):
+                calls.append(child)
+            stack.append(child)
+    return calls
+
+
+@register_project
+class DurabilityEscapeRule(ProjectRule):
+    """SL012: non-atomic write reachable from the durability layer.
+
+    SL009 flags ``write_text`` / ``write_bytes`` *syntactically inside*
+    ``store/`` / ``io/`` / ``runtime/``; moving the write into a helper
+    module defeats it.  This rule walks the call graph from every
+    function in those packages and flags any reachable non-atomic write
+    — raw write-mode ``open()`` anywhere, and ``write_text`` /
+    ``write_bytes`` in files SL009 does not cover — quoting the call
+    path that reaches it.  :mod:`repro.io.atomic` is the sanctioned
+    implementation and is exempt.
+    """
+
+    code = "SL012"
+    summary = "non-atomic write reachable from the durability layer"
+    rationale = (
+        "Crash-atomicity is a whole-call-tree property: a helper that "
+        "writes a final path non-atomically tears checkpoints no matter "
+        "which module it lives in.  All durable writes must funnel "
+        "through repro.io.atomic (tmp + fsync + rename)."
+    )
+
+    def check_project(self, project: Project) -> None:
+        entries = [
+            fn.qualname
+            for fn in project.symbols.functions.values()
+            if _in_durability_scope(fn.path)
+        ]
+        if not entries:
+            return
+        parents = project.reachable(entries)
+        reported: set[tuple[str, int]] = set()
+        for qualname in parents:
+            fn = project.symbols.functions.get(qualname)
+            if fn is None or fn.module in _SANCTIONED_WRITERS:
+                continue
+            in_scope = _in_durability_scope(fn.path)
+            for call in _calls_in_scope(fn):
+                finding_kind: str | None = None
+                mode = _open_write_mode(call)
+                if mode is not None:
+                    finding_kind = f'raw open(..., "{mode}")'
+                else:
+                    func = call.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in ("write_text", "write_bytes")
+                        and not in_scope  # in-scope sites are SL009's
+                    ):
+                        finding_kind = f".{func.attr}()"
+                if finding_kind is None:
+                    continue
+                key = (fn.path, call.lineno)
+                if key in reported:
+                    continue
+                reported.add(key)
+                route = _arrow(Project.path_to(parents, qualname))
+                self.report(
+                    fn.path,
+                    call,
+                    f"{finding_kind} in {fn.qualname} is reachable from "
+                    f"the durability layer ({route}); write via "
+                    "repro.io.atomic (tmp + fsync + rename)",
+                )
+
+
+def _dispatch_sites(
+    project: Project, fn: FunctionInfo
+) -> list[tuple[ast.Call, list[FunctionInfo]]]:
+    """Fork-dispatch calls in ``fn`` with the callables they ship."""
+    sites: list[tuple[ast.Call, list[FunctionInfo]]] = []
+    for call in _calls_in_scope(fn):
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        is_launcher = name in _FORK_LAUNCHERS
+        is_submit = (
+            name in _POOL_SUBMITS
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and "pool" in func.value.id.lower()
+        )
+        if not (is_launcher or is_submit):
+            continue
+        shipped: list[FunctionInfo] = []
+        for arg in (*call.args, *(kw.value for kw in call.keywords)):
+            shipped.extend(project.resolve_callable(fn, arg))
+        sites.append((call, shipped))
+    return sites
+
+
+@register_project
+class ForkSharedStateRule(ProjectRule):
+    """SL013: mutable state shared across a fork boundary.
+
+    A callable shipped to a fork launcher executes in a child process;
+    any state that already existed at fork time — module globals, the
+    dispatcher's locals captured by closure, ``self`` of a bound method
+    — exists as an independent copy on each side.  Reads of mutable
+    globals silently diverge once either side writes; writes never
+    propagate back.  The rule resolves each shipped callable and flags
+    it when it (or anything it calls) rebinds or mutates free state, or
+    when the callable itself reads a module-level mutable global or
+    mutates bound instance attributes.  Deliberate copy-on-write
+    ownership schemes opt out with a justified per-line suppression at
+    the dispatch site.
+    """
+
+    code = "SL013"
+    summary = "fork-shipped callable touches pre-fork mutable state"
+    rationale = (
+        "After fork, parent and child hold independent copies of every "
+        "pre-existing object: mutating or reading shared mutable state "
+        "from a worker silently diverges from the serial reference the "
+        "bit-equality contract pins."
+    )
+
+    def check_project(self, project: Project) -> None:
+        for fn in list(project.symbols.functions.values()):
+            for call, shipped in _dispatch_sites(project, fn):
+                for worker in shipped:
+                    hazard = self._hazard(project, worker)
+                    if hazard is None:
+                        continue
+                    self.report(
+                        fn.path,
+                        call,
+                        f"{worker.qualname} is shipped across a fork and "
+                        f"{hazard}; pass immutable snapshots or create the "
+                        "state inside the worker",
+                    )
+
+    def _hazard(self, project: Project, worker: FunctionInfo) -> str | None:
+        direct = project.summary(worker.qualname)
+        if direct is None:
+            return None
+        module = project.symbols.modules.get(worker.module)
+        mutable_globals = module.mutable_globals() if module is not None else set()
+        shared_reads = direct.free_reads & mutable_globals
+        if shared_reads:
+            names = ", ".join(sorted(shared_reads))
+            return f"reads module-level mutable global(s) {names}"
+        # A shipped constructor builds its instance *inside* the child:
+        # its self-mutations initialize a post-fork object, not shared
+        # state (free/global hazards below still apply to it).
+        if worker.name == "__init__":
+            return self._transitive_hazard(project, worker)
+        if worker.is_method and direct.self_mutations:
+            names = ", ".join(sorted(direct.self_mutations))
+            return (
+                f"mutates bound instance attribute(s) {names} of a "
+                "pre-fork object"
+            )
+        return self._transitive_hazard(project, worker)
+
+    @staticmethod
+    def _transitive_hazard(
+        project: Project, worker: FunctionInfo
+    ) -> str | None:
+        """The worker or anything it calls rebinds/mutates free state."""
+        parents = project.reachable([worker.qualname])
+        for qualname in parents:
+            summary = project.summary(qualname)
+            if summary is None:
+                continue
+            mutated = summary.free_writes | summary.free_mutations
+            if mutated:
+                names = ", ".join(sorted(mutated))
+                via = ""
+                if qualname != worker.qualname:
+                    via = f" (via {_arrow(Project.path_to(parents, qualname))})"
+                return f"rebinds/mutates free state {names}{via}"
+        return None
+
+
+def _rng_named(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Name):
+        return "rng" in expr.id.lower()
+    if isinstance(expr, ast.Attribute):
+        return "rng" in expr.attr.lower() or _rng_named(expr.value)
+    return False
+
+
+def _assigns_rng(node: ast.AST) -> bool:
+    """Any assignment whose target names an RNG (state transplant)."""
+    for part in ast.walk(node):
+        targets: list[ast.expr] = []
+        if isinstance(part, ast.Assign):
+            targets = part.targets
+        elif isinstance(part, (ast.AnnAssign, ast.AugAssign)):
+            targets = [part.target]
+        if any(_rng_named(target) for target in targets):
+            return True
+    return False
+
+
+def _has_inline_guard(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.If) and any(
+            isinstance(part, ast.Compare) for part in ast.walk(inner.test)
+        ):
+            if any(isinstance(part, ast.Raise) for part in ast.walk(inner)):
+                return True
+    return False
+
+
+def _is_protected(fn: FunctionInfo) -> bool:
+    """Monotonicity guard visible on this function itself."""
+    node = fn.node
+    if isinstance(node, ast.Lambda):
+        return False
+    for decorator in node.decorator_list:
+        if _decorator_name(decorator) in ("monotone_timestamps", "abstractmethod"):
+            return True
+    return _has_inline_guard(node)
+
+
+def _is_ingest_target(fn: FunctionInfo) -> bool:
+    node = fn.node
+    if isinstance(node, ast.Lambda) or fn.parent is not None:
+        return False
+    if fn.name not in INGEST_VERBS or _is_stub_body(node):
+        return False
+    args = node.args
+    names = {
+        arg.arg for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    }
+    return bool(names & TIME_PARAMS)
+
+
+def _is_public_entry(project: Project, fn: FunctionInfo) -> bool:
+    """Part of the public API surface: importable without underscores."""
+    if fn.parent is not None or fn.name.startswith("_"):
+        return False
+    if fn.cls is not None:
+        cls = project.symbols.classes.get(fn.cls)
+        if cls is None or cls.name.startswith("_"):
+            return False
+    return True
+
+
+@register_project
+class ContractCoverageRule(ProjectRule):
+    """SL014: monotone-timestamp contract gap along a public call path.
+
+    SL008 demanded a guard *in* every ingest-verb function, which both
+    over-reports (a public façade that delegates to a guarded tracker
+    is safe) and under-reports (a private worker method is unguarded
+    but SL008 never sees the public wrapper that exposes it).  This
+    rule checks the property the repo actually needs: every path from
+    the public API to a timestamp-consuming ingest function passes a
+    monotonicity guard.  A target passes if it carries a guard itself,
+    if it delegates to a guarded ingest function, or if every public
+    route to it goes through a guarded function.
+    """
+
+    code = "SL014"
+    summary = "timestamp ingest path from public API lacks monotonicity guard"
+    rationale = (
+        "PLA feasibility and predecessor reads assume strictly "
+        "increasing time; the guard must sit somewhere on every public "
+        "call path, not necessarily in every function."
+    )
+
+    def check_project(self, project: Project) -> None:
+        functions = project.symbols.functions
+        protected = {
+            qualname for qualname, fn in functions.items() if _is_protected(fn)
+        }
+        entries = [
+            qualname
+            for qualname, fn in functions.items()
+            if _is_public_entry(project, fn) and qualname not in protected
+        ]
+        # Everything on an unguarded path from the public surface.
+        exposed = project.reachable(entries, stop=frozenset(protected))
+        for qualname, fn in functions.items():
+            if not _is_ingest_target(fn) or qualname in protected:
+                continue
+            if qualname not in exposed:
+                continue  # only reachable through guarded wrappers
+            if self._delegates_to_guard(project, qualname, protected):
+                continue
+            route = _arrow(Project.path_to(exposed, qualname))
+            self.report(
+                fn.path,
+                fn.node,
+                f"{fn.name}() consumes a timestamp and is reachable from "
+                f"the public API without a monotonicity guard ({route}); "
+                "raise behind a comparison or use "
+                "@contracts.monotone_timestamps on the path",
+            )
+
+    @staticmethod
+    def _delegates_to_guard(
+        project: Project, qualname: str, protected: set[str]
+    ) -> bool:
+        """The target hands its timestamps to a guarded ingest function."""
+        reached = project.reachable([qualname])
+        for callee in reached:
+            if callee == qualname or callee not in protected:
+                continue
+            fn = project.symbols.functions.get(callee)
+            if fn is not None and _is_ingest_target(fn):
+                return True
+        return False
+
+
+@register_project
+class UnpropagatedRNGRule(ProjectRule):
+    """SL015: forked callee chain consumes RNG with no determinism plan.
+
+    SL011 fires when the *dispatching* function lexically touches an
+    RNG; hiding the draw one call deep (the worker calls a helper that
+    draws) defeats it.  This rule resolves each fork-shipped callable,
+    walks everything reachable from it, and flags the dispatch when any
+    reached function consumes a generator while no mitigation call
+    (``bulk_uniforms``, ``spawn``, ``jumped``, ``SeedSequence``,
+    ``seed``, ``getstate``/``setstate``, ``bit_generator``) is visible
+    in the dispatcher, the workers, or anything they reach.
+    Dispatchers that lexically mention an RNG are SL011's to judge and
+    are skipped here.
+    """
+
+    code = "SL015"
+    summary = "fork-shipped call chain consumes RNG without a per-worker plan"
+    rationale = (
+        "Fork duplicates generator state: a worker that draws through "
+        "any helper chain replays its siblings' sequence and never "
+        "advances the master's generator, breaking parallel == serial "
+        "bit-equality."
+    )
+
+    def check_project(self, project: Project) -> None:
+        for fn in list(project.symbols.functions.values()):
+            for call, shipped in _dispatch_sites(project, fn):
+                if not shipped:
+                    continue
+                if ForkSharedRNGRule._mentions_rng(fn.node):
+                    continue  # lexical case: SL011's verdict stands
+                scope = project.reachable(
+                    [fn.qualname, *(worker.qualname for worker in shipped)]
+                )
+                if self._mitigated(project, scope):
+                    continue
+                culprit = self._rng_consumer(project, shipped, scope)
+                if culprit is None:
+                    continue
+                route = _arrow(Project.path_to(scope, culprit))
+                self.report(
+                    fn.path,
+                    call,
+                    f"forked work reaches RNG consumption in {culprit} "
+                    f"({route}) with no per-worker determinism plan "
+                    "(pre-draw with bulk_uniforms, spawn/seed per-worker "
+                    "generators, or transplant state explicitly)",
+                )
+
+    @staticmethod
+    def _mitigated(project: Project, scope: dict[str, str | None]) -> bool:
+        for qualname in scope:
+            for site in project.graph.sites.get(qualname, []):
+                if site.name in _MITIGATIONS:
+                    return True
+            # A state transplant can be an assignment rather than a
+            # call: ``history._rng = self._rng`` / ``rng.state = ...``
+            # rewires generator identity explicitly and counts as a
+            # determinism plan.
+            fn = project.symbols.functions.get(qualname)
+            if fn is not None and _assigns_rng(fn.node):
+                return True
+        return False
+
+    @staticmethod
+    def _rng_consumer(
+        project: Project,
+        shipped: list[FunctionInfo],
+        scope: dict[str, str | None],
+    ) -> str | None:
+        worker_reached: set[str] = set()
+        for worker in shipped:
+            worker_reached.update(project.reachable([worker.qualname]))
+        for qualname in scope:
+            if qualname not in worker_reached:
+                continue  # RNG use on the master side is SL011's concern
+            summary: DataflowSummary | None = project.summary(qualname)
+            if summary is not None and summary.touches_rng:
+                return qualname
+        return None

@@ -433,6 +433,9 @@ class UnguardedTimestampRule(Rule):
         "PLA feasibility and predecessor reads assume strictly "
         "increasing time; unguarded ingest silently corrupts archives."
     )
+    #: SL014 checks the same contract along whole call paths; this
+    #: per-function approximation only runs under --select SL008.
+    superseded_by = "SL014"
 
     def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
         if node.name.startswith("_") or node.name not in INGEST_VERBS:

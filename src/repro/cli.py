@@ -126,6 +126,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             select=select,
             warn_only=args.warn_only,
             list_rules=args.list_rules,
+            baseline=args.baseline,
+            update_baseline=args.update_baseline,
+            stats=args.stats,
+            time_budget=args.time_budget,
+            cache_dir=args.cache,
         )
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; that is not a lint error.
@@ -320,12 +325,33 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "paths", nargs="*", default=["src"], help="files/dirs (default: src)"
     )
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
     lint.add_argument(
         "--select", default=None, help="comma-separated rule codes"
     )
     lint.add_argument("--warn-only", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="ratchet file: fail only on findings beyond the baseline",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline from current findings and exit 0",
+    )
+    lint.add_argument(
+        "--stats", action="store_true", help="print analysis statistics"
+    )
+    lint.add_argument(
+        "--time-budget", type=float, default=120.0, metavar="SECONDS",
+        help="hard wall-clock budget (0 disables; default 120)",
+    )
+    lint.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="directory for the parsed-AST cache",
+    )
 
     ingest = sub.add_parser(
         "ingest",

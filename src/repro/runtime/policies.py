@@ -25,6 +25,7 @@ backoff (deterministic, injectable sleep — tests pass a recording stub).
 from __future__ import annotations
 
 import json
+import os
 import time as _time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -135,9 +136,13 @@ class DeadLetterFile:
             {"kind": kind, "reason": reason, "record": json.loads(payload)},
             separators=(",", ":"),
         )
-        with open(self.path, "a", encoding="utf-8") as handle:
+        # Append-only quarantine log: fsync-in-place is the correct
+        # durability primitive here (tmp+rename would clobber prior
+        # entries), so the raw handle is deliberate.
+        with open(self.path, "a", encoding="utf-8") as handle:  # sketchlint: disable=SL012 — fsync'd append, not a tearable final-path write
             handle.write(entry + "\n")
             handle.flush()
+            os.fsync(handle.fileno())
         fsync_directory(self.path.parent)
 
     def entries(self) -> list[dict[str, Any]]:

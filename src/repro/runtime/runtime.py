@@ -542,7 +542,7 @@ class IngestRuntime:
         """Simulated media damage: cut every archive in half."""
         for archive in sorted(target.glob("*.json.gz")):
             data = archive.read_bytes()
-            with open(archive, "wb") as handle:
+            with open(archive, "wb") as handle:  # sketchlint: disable=SL012 — test-only fault injector: the torn write IS the point
                 handle.write(data[: len(data) // 2])
 
     def _prune(self, covered: int) -> None:
@@ -587,7 +587,7 @@ class IngestRuntime:
                 else:
                     break
             if valid_bytes < len(raw.encode("utf-8")):
-                with open(path, "r+b") as handle:
+                with open(path, "r+b") as handle:  # sketchlint: disable=SL012 — recovery-time torn-tail repair truncates in place; only discards bytes already proven invalid
                     handle.truncate(valid_bytes)
 
     # ------------------------------------------------------------------ #

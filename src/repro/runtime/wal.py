@@ -97,7 +97,7 @@ class WriteAheadLog:
     def _active_handle(self) -> IO[str]:
         if self._handle is None:
             path = self.directory / f"segment-{self.next_seq:012d}.wal"
-            self._handle = open(path, "a", encoding="utf-8")
+            self._handle = open(path, "a", encoding="utf-8")  # sketchlint: disable=SL012 — the WAL is the durability mechanism: fsync-per-append plus recovery-time torn-tail repair
         return self._handle
 
     def append(self, record: dict[str, Any]) -> int:

@@ -203,7 +203,7 @@ class SketchStore:
     # Ingest
     # ------------------------------------------------------------------ #
 
-    def update(  # sketchlint: disable=SL008 — delegates to each sketch's guarded clock
+    def update(  # sketchlint: disable=SL008,SL014 — delegates to each sketch's guarded clock via untyped __slots__ state the resolver cannot type
         self, name: str, item: int, count: int = 1, time: int | None = None
     ) -> None:
         """Feed one update into every sketch of stream ``name``.

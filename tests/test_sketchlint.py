@@ -12,7 +12,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import RULES, lint_source
+from repro.analysis import PROJECT_RULES, RULES, analyze_paths, lint_source
 from repro.analysis.sketchlint import lint_paths, run_lint
 
 SRC_PATH = "src/repro/core/module.py"  # in-scope for every rule
@@ -24,6 +24,17 @@ def codes(source, path=SRC_PATH, select=None):
         finding.code
         for finding in lint_source(textwrap.dedent(source), path, select=select)
     }
+
+
+def tree_codes(tmp_path, files):
+    """Write ``{relpath: source}`` under ``tmp_path`` and lint the tree."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    findings, errors = lint_paths([tmp_path])
+    assert errors == []
+    return {finding.code for finding in findings}
 
 
 # --------------------------------------------------------------------- #
@@ -207,17 +218,18 @@ def test_sl007_passes_annotated_and_out_of_scope():
 
 
 # --------------------------------------------------------------------- #
-# SL008 — unguarded timestamp ingest
+# SL008 — unguarded timestamp ingest (superseded by SL014; --select only)
 # --------------------------------------------------------------------- #
 
 
-def test_sl008_flags_unguarded_feed():
+def test_sl008_flags_unguarded_feed_when_selected():
     assert "SL008" in codes(
         """
         class Tracker:
             def feed(self, t, value):
                 self.value = value
-        """
+        """,
+        select=["SL008"],
     )
 
 
@@ -229,14 +241,26 @@ def test_sl008_passes_guarded_or_contracted_feed():
                     raise ValueError("time went backwards")
                 self.value = value
     """
-    assert "SL008" not in codes(guarded)
+    assert "SL008" not in codes(guarded, select=["SL008"])
     contracted = """
         class Tracker:
             @contracts.monotone_timestamps(param="t")
             def feed(self, t, value):
                 self.value = value
     """
-    assert "SL008" not in codes(contracted)
+    assert "SL008" not in codes(contracted, select=["SL008"])
+
+
+def test_sl008_superseded_by_sl014_in_default_runs():
+    unguarded = """
+        class Tracker:
+            def feed(self, t, value):
+                self.value = value
+    """
+    found = codes(unguarded)
+    assert "SL008" not in found  # the whole-program rule replaced it
+    assert "SL014" in found
+    assert RULES["SL008"].superseded_by == "SL014"
 
 
 # --------------------------------------------------------------------- #
@@ -412,6 +436,452 @@ def test_sl011_suppression_for_deliberate_broadcast():
 
 
 # --------------------------------------------------------------------- #
+# SL012 — durability escape (interprocedural)
+# --------------------------------------------------------------------- #
+
+STORE_PATH = "src/repro/store/module.py"
+
+
+def test_sl012_flags_raw_write_open_in_durability_scope():
+    source = """
+        def save(path, data):
+            with open(path, "w") as handle:
+                handle.write(data)
+    """
+    found = codes(source, path=STORE_PATH)
+    assert "SL012" in found
+    assert "SL009" not in found  # raw open is invisible to the module rule
+
+
+def test_sl012_flags_wrapped_write_one_call_deep():
+    source = """
+        def checkpoint(path, payload):
+            _spill(path, payload)
+
+        def _spill(path, payload):
+            with open(path, "wb") as handle:
+                handle.write(payload)
+    """
+    assert "SL012" in codes(source, path="src/repro/runtime/module.py")
+
+
+def test_sl012_passes_read_open_and_atomic_helpers():
+    assert "SL012" not in codes(
+        """
+        def load(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        """,
+        path=STORE_PATH,
+    )
+    assert "SL012" not in codes(
+        """
+        def save(path, data):
+            atomic_write_text(path, data)
+        """,
+        path=STORE_PATH,
+    )
+
+
+def test_sl012_exempts_the_atomic_module_itself():
+    source = """
+        def atomic_write_text(path, data):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(data)
+    """
+    assert "SL012" not in codes(source, path="src/repro/io/atomic.py")
+
+
+def test_sl012_ignores_non_durability_packages():
+    source = """
+        def save(path, data):
+            with open(path, "w") as handle:
+                handle.write(data)
+    """
+    assert "SL012" not in codes(source, path="src/repro/eval/module.py")
+
+
+def test_sl012_suppression():
+    source = (
+        "def save(path, data):\n"
+        '    with open(path, "a") as handle:  '
+        "# sketchlint: disable=SL012 — fsync'd append log\n"
+        "        handle.write(data)\n"
+    )
+    assert "SL012" not in codes(source, path=STORE_PATH)
+
+
+def test_sl012_regression_cross_module_wrapper_defeats_sl009(tmp_path):
+    """A write helper outside store/ is invisible to SL009 but SL012
+    follows the call edge from the durability entry point into it."""
+    found = tree_codes(
+        tmp_path,
+        {
+            "src/repro/store/checkpoint.py": """
+                from __future__ import annotations
+
+                from repro.util.spill import spill_text
+
+                def checkpoint(path, payload):
+                    spill_text(path, payload)
+            """,
+            "src/repro/util/spill.py": """
+                from __future__ import annotations
+
+                def spill_text(path, payload):
+                    path.write_text(payload)
+            """,
+        },
+    )
+    assert "SL012" in found
+    assert "SL009" not in found
+
+
+# --------------------------------------------------------------------- #
+# SL013 — fork-shared mutable state (interprocedural)
+# --------------------------------------------------------------------- #
+
+
+def test_sl013_flags_worker_mutating_module_global():
+    source = """
+        _CACHE = {}
+
+        def _worker(task):
+            _CACHE[task] = 1
+            return task
+
+        def launch(tasks):
+            return parallel_map(_worker, tasks, 4)
+    """
+    assert "SL013" in codes(source)
+
+
+def test_sl013_flags_mutation_one_call_deep():
+    source = """
+        _CACHE = {}
+
+        def _remember(task):
+            _CACHE[task] = 1
+
+        def _worker(task):
+            _remember(task)
+            return task
+
+        def launch(tasks):
+            return parallel_map(_worker, tasks, 4)
+    """
+    found = codes(source)
+    assert "SL013" in found
+    assert "SL011" not in found  # no RNG: the old rule has nothing to say
+
+
+def test_sl013_flags_bound_method_mutating_instance_state():
+    source = """
+        class Ingest:
+            def _work(self, task):
+                self.seen.append(task)
+                return task
+
+            def launch(self, tasks):
+                return parallel_map(self._work, tasks, 4)
+    """
+    assert "SL013" in codes(source)
+
+
+def test_sl013_flags_worker_reading_mutable_global():
+    source = """
+        _REGISTRY = {}
+
+        def _worker(task):
+            return _REGISTRY[task]
+
+        def launch(tasks):
+            return parallel_map(_worker, tasks, 4)
+    """
+    assert "SL013" in codes(source)
+
+
+def test_sl013_passes_pure_and_immutable_global_workers():
+    assert "SL013" not in codes(
+        """
+        def _worker(task):
+            return task * 2
+
+        def launch(tasks):
+            return parallel_map(_worker, tasks, 4)
+        """
+    )
+    assert "SL013" not in codes(
+        """
+        _SCALE = 3
+
+        def _worker(task):
+            return task * _SCALE
+
+        def launch(tasks):
+            return parallel_map(_worker, tasks, 4)
+        """
+    )
+
+
+def test_sl013_passes_shipped_constructor():
+    # The instance is built inside the child; its __init__ self-writes
+    # initialize post-fork state, not shared state.
+    assert "SL013" not in codes(
+        """
+        class Snapshot:
+            def __init__(self, source):
+                self.data = dict(source)
+
+        def freeze_all(sources):
+            return parallel_map(Snapshot, sources, 4)
+        """
+    )
+
+
+def test_sl013_suppression_for_designed_cow_ownership():
+    source = (
+        "class Ingest:\n"
+        "    def _work(self, task):\n"
+        "        self.seen.append(task)\n"
+        "        return task\n"
+        "\n"
+        "    def launch(self, tasks):\n"
+        "        return parallel_map(self._work, tasks, 4)  "
+        "# sketchlint: disable=SL013 — per-shard CoW ownership, merged on collect\n"
+    )
+    assert "SL013" not in codes(source)
+
+
+def test_sl013_regression_wrapper_defeats_syntactic_rules(tmp_path):
+    """A worker imported from another module mutates a global there;
+    per-module scans of either file alone see no hazard."""
+    found = tree_codes(
+        tmp_path,
+        {
+            "src/repro/parallel/dispatch.py": """
+                from __future__ import annotations
+
+                from repro.parallel.jobs import work
+
+                def launch(tasks):
+                    return parallel_map(work, tasks, 4)
+            """,
+            "src/repro/parallel/jobs.py": """
+                from __future__ import annotations
+
+                _SEEN = []
+
+                def work(task):
+                    _SEEN.append(task)
+                    return task
+            """,
+        },
+    )
+    assert "SL013" in found
+    assert "SL011" not in found
+
+
+# --------------------------------------------------------------------- #
+# SL014 — contract-coverage gap (interprocedural)
+# --------------------------------------------------------------------- #
+
+
+def test_sl014_flags_unguarded_public_ingest():
+    assert "SL014" in codes(
+        """
+        class Tracker:
+            def feed(self, t, value):
+                self.value = value
+        """
+    )
+
+
+def test_sl014_passes_locally_guarded_ingest():
+    assert "SL014" not in codes(
+        """
+        class Tracker:
+            def feed(self, t, value):
+                if t <= self.last:
+                    raise ValueError("time went backwards")
+                self.value = value
+        """
+    )
+    assert "SL014" not in codes(
+        """
+        class Tracker:
+            @contracts.monotone_timestamps(param="t")
+            def feed(self, t, value):
+                self.value = value
+        """
+    )
+
+
+def test_sl014_passes_facade_delegating_to_guarded_tracker():
+    """The wrapper-indirection case SL008 over-reports: an unguarded
+    facade whose call path ends in a guarded ingest function is safe."""
+    source = """
+        class Inner:
+            def feed(self, t, value):
+                if t <= self.last:
+                    raise ValueError("time went backwards")
+                self.value = value
+
+        class Facade:
+            def __init__(self):
+                self._inner = Inner()
+
+            def feed(self, t, value):
+                self._inner.feed(t, value)
+    """
+    found = codes(source)
+    assert "SL014" not in found
+    # ...while the superseded per-function rule still flags the facade.
+    assert "SL008" in codes(source, select=["SL008"])
+
+
+def test_sl014_flags_private_ingest_exposed_by_public_wrapper():
+    """The wrapper-indirection case SL008 under-reports: the unguarded
+    worker is only dangerous because a public route reaches it."""
+    assert "SL014" in codes(
+        """
+        class _Worker:
+            def feed(self, t, value):
+                self.value = value
+
+        class Facade:
+            def __init__(self):
+                self._worker = _Worker()
+
+            def accept(self, t, value):
+                self._worker.feed(t, value)
+        """
+    )
+
+
+def test_sl014_passes_private_ingest_behind_guarded_route():
+    assert "SL014" not in codes(
+        """
+        class _Worker:
+            def feed(self, t, value):
+                self.value = value
+
+        class Facade:
+            def __init__(self):
+                self._worker = _Worker()
+
+            @contracts.monotone_timestamps(param="t")
+            def accept(self, t, value):
+                self._worker.feed(t, value)
+        """
+    )
+
+
+def test_sl014_suppression():
+    source = (
+        "class Tracker:\n"
+        "    def feed(self, t, value):  "
+        "# sketchlint: disable=SL014 — clock owned by the delegate\n"
+        "        self.value = value\n"
+    )
+    assert "SL014" not in codes(source)
+
+
+# --------------------------------------------------------------------- #
+# SL015 — unpropagated RNG state (interprocedural)
+# --------------------------------------------------------------------- #
+
+
+def test_sl015_flags_rng_consumed_one_call_deep_in_worker():
+    source = """
+        def _helper(state):
+            return state.rng.random()
+
+        def _task(state):
+            return _helper(state)
+
+        def launch(tasks):
+            return parallel_map(_task, tasks, 4)
+    """
+    found = codes(source)
+    assert "SL015" in found
+    assert "SL011" not in found  # dispatcher never says "rng" lexically
+
+
+def test_sl015_passes_spawned_per_worker_generators():
+    assert "SL015" not in codes(
+        """
+        def _helper(child):
+            return child.random()
+
+        def _task(pair):
+            return _helper(pair[0])
+
+        def launch(tasks, master):
+            children = master.spawn(len(tasks))
+            return parallel_map(_task, list(zip(children, tasks)), 4)
+        """
+    )
+
+
+def test_sl015_passes_state_transplant_assignment():
+    assert "SL015" not in codes(
+        """
+        def _task(state):
+            return state.rng.random()
+
+        def _merge(master, results):
+            master.rng = results[0]
+
+        def launch(tasks, master):
+            out = parallel_map(_task, tasks, 4)
+            _merge(master, out)
+            return out
+        """
+    )
+
+
+def test_sl015_passes_rng_free_workers():
+    assert "SL015" not in codes(
+        """
+        def _task(x):
+            return x * 2
+
+        def launch(tasks):
+            return parallel_map(_task, tasks, 4)
+        """
+    )
+
+
+def test_sl015_leaves_lexical_rng_dispatch_to_sl011():
+    # The dispatcher itself touches the RNG: SL011's verdict applies and
+    # SL015 stays silent (mitigated dispatches must not double-report).
+    source = """
+        def launch(self, tasks):
+            rng = self._rng
+            return parallel_map(lambda t: rng.random(), tasks, 4)
+    """
+    found = codes(source)
+    assert "SL011" in found
+    assert "SL015" not in found
+
+
+def test_sl015_suppression():
+    source = (
+        "def _helper(state):\n"
+        "    return state.rng.random()\n"
+        "\n"
+        "def _task(state):\n"
+        "    return _helper(state)\n"
+        "\n"
+        "def launch(tasks):\n"
+        "    return parallel_map(_task, tasks, 4)  "
+        "# sketchlint: disable=SL015 — workers share one deliberate stream\n"
+    )
+    assert "SL015" not in codes(source)
+
+
+# --------------------------------------------------------------------- #
 # Engine behaviour
 # --------------------------------------------------------------------- #
 
@@ -468,8 +938,110 @@ def test_rule_table_is_complete():
         "SL010",
         "SL011",
     ]
-    for cls in RULES.values():
+    assert sorted(PROJECT_RULES) == ["SL012", "SL013", "SL014", "SL015"]
+    for cls in (*RULES.values(), *PROJECT_RULES.values()):
         assert cls.summary and cls.rationale
+
+
+def test_sarif_output(tmp_path):
+    module = tmp_path / "src" / "repro" / "core" / "m.py"
+    module.parent.mkdir(parents=True)
+    module.write_text("from __future__ import annotations\nassert True\n")
+    out = StringIO()
+    status = run_lint([tmp_path], fmt="sarif", out=out, err=StringIO())
+    assert status == 1
+    sarif = json.loads(out.getvalue())
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "sketchlint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"SL001", "SL012", "SL015"} <= rule_ids
+    results = run["results"]
+    assert results[0]["ruleId"] == "SL005"
+    location = results[0]["locations"][0]["physicalLocation"]
+    assert location["region"]["startLine"] == 2
+
+
+def test_baseline_ratchet(tmp_path):
+    module = tmp_path / "tree" / "m.py"
+    module.parent.mkdir(parents=True)
+    module.write_text("import math\n")  # SL006
+    baseline = tmp_path / "baseline.json"
+    # Record the current findings as the accepted debt.
+    status = run_lint(
+        [module.parent],
+        baseline=baseline,
+        update_baseline=True,
+        out=StringIO(),
+        err=StringIO(),
+    )
+    assert status == 0
+    # Unchanged tree: the known finding is held, gate passes.
+    out = StringIO()
+    status = run_lint(
+        [module.parent], baseline=baseline, out=out, err=StringIO()
+    )
+    assert status == 0
+    assert "known finding" in out.getvalue()
+    # A new finding in another file trips the ratchet.
+    (module.parent / "n.py").write_text("import math\n")
+    out = StringIO()
+    status = run_lint(
+        [module.parent], baseline=baseline, out=out, err=StringIO()
+    )
+    assert status == 1
+    assert "n.py" in out.getvalue()
+    assert "m.py:1" not in out.getvalue()  # old debt stays suppressed
+
+
+def test_update_baseline_requires_baseline_path():
+    err = StringIO()
+    status = run_lint(
+        ["src"], update_baseline=True, out=StringIO(), err=err
+    )
+    assert status == 2
+    assert "--baseline" in err.getvalue()
+
+
+def test_stats_output(tmp_path):
+    module = tmp_path / "m.py"
+    module.write_text(
+        "from __future__ import annotations\n\n\ndef f() -> int:\n"
+        "    return g()\n\n\ndef g() -> int:\n    return 1\n"
+    )
+    out = StringIO()
+    status = run_lint([tmp_path], stats=True, out=out, err=StringIO())
+    assert status == 0
+    text = out.getvalue()
+    assert "sketchlint stats:" in text
+    assert "call graph" in text
+    assert "wall time" in text
+
+
+def test_time_budget_is_operational_error():
+    err = StringIO()
+    status = run_lint(
+        ["src"], time_budget=1e-9, out=StringIO(), err=err
+    )
+    assert status == 2
+    assert "time budget" in err.getvalue()
+
+
+def test_parse_cache_round_trip(tmp_path):
+    module = tmp_path / "tree" / "m.py"
+    module.parent.mkdir(parents=True)
+    module.write_text("from __future__ import annotations\nx = 1\n")
+    cache = tmp_path / "cache"
+    first = analyze_paths([module.parent], cache_dir=cache)
+    assert first[2].cache_hits == 0
+    second = analyze_paths([module.parent], cache_dir=cache)
+    assert second[2].cache_hits == 1
+    assert [f.format() for f in first[0]] == [f.format() for f in second[0]]
+    # A content change invalidates the entry, results stay correct.
+    module.write_text("import math\n")
+    third = analyze_paths([module.parent], cache_dir=cache)
+    assert third[2].cache_hits == 0
+    assert {f.code for f in third[0]} == {"SL006"}
 
 
 def test_src_tree_is_self_clean():
