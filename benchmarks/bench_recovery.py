@@ -1,0 +1,139 @@
+"""Recovery and durability-scrub cost vs WAL size.
+
+ISSUE 7 adds an fsck pass in front of every recovery, so the scrub's
+scan throughput is now on the critical path of restart time.  This
+benchmark builds ingest-runtime directories at two sizes and measures:
+
+* ``run_fsck`` scan-only throughput (records/s and MB/s over every CRC
+  frame plus checkpoint deserialization probes), and
+* end-to-end :meth:`IngestRuntime.recover` time (which includes the
+  repair-mode scrub plus WAL tail replay), per replayed record.
+
+Correctness gates ride along — the scrubbed directory must report
+clean, and recovery must land exactly on the ingested sequence — so a
+fast-but-wrong scan can never score.
+
+Results are written to ``BENCH_recovery.json`` at the repo root (schema
+``bench_recovery/v1``).  Scale record counts with ``REPRO_BENCH_SCALE``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.eval import harness
+from repro.runtime import IngestRuntime, run_fsck
+from repro.store import SketchStore, StreamSpec
+
+#: Repo-root output consumed by CI and EXPERIMENTS.md.
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_recovery.json"
+
+#: Directory sizes in records (scaled by ``REPRO_BENCH_SCALE``).
+SIZES = (5_000, 20_000)
+
+BATCH = 2_000
+
+
+def _make_store() -> SketchStore:
+    store = SketchStore(width=256, depth=3, seed=harness.BENCH_SEED)
+    store.create(
+        StreamSpec(name="urls", delta=8, universe=1024, heavy_hitters=True)
+    )
+    store.create(StreamSpec(name="ads", delta=8))
+    return store
+
+
+def _build_directory(root: Path, n: int, checkpoint_every: int) -> float:
+    runtime = IngestRuntime.create(
+        root, _make_store(), checkpoint_every=checkpoint_every
+    )
+    start = time.perf_counter()
+    for lo in range(0, n, BATCH):
+        count = min(BATCH, n - lo)
+        runtime.ingest_batch(
+            {"stream": "urls" if i % 3 else "ads", "item": i % 997}
+            for i in range(lo, lo + count)
+        )
+    build_s = time.perf_counter() - start
+    runtime.close()
+    return build_s
+
+
+def _bench_size(tmp_root: Path, base: int) -> dict:
+    n = harness.scaled(base)
+    # A cadence that never divides n: the WAL keeps a real replay tail,
+    # so recovery measures scrub + replay, not just the scrub.
+    checkpoint_every = n // 3 + 7
+    directory = tmp_root / f"rt-{base}"
+    build_s = _build_directory(directory, n, checkpoint_every)
+
+    start = time.perf_counter()
+    report = run_fsck(directory)
+    scan_s = time.perf_counter() - start
+    assert report.clean, "a clean build must scrub clean"
+    assert report.max_seq_seen == n
+
+    start = time.perf_counter()
+    recovered = IngestRuntime.recover(
+        directory, checkpoint_every=checkpoint_every
+    )
+    recover_s = time.perf_counter() - start
+    assert recovered.applied_seq == n, "recovery must land on the last ack"
+    replayed = recovered.stats.replayed
+    assert replayed > 0, "the cadence must leave a tail to replay"
+
+    return {
+        "records": n,
+        "checkpoint_every": checkpoint_every,
+        "wal_bytes": report.scanned_bytes,
+        "build_s": build_s,
+        "fsck": {
+            "scan_s": scan_s,
+            "scanned_records": report.scanned_records,
+            "records_per_s": report.scanned_records / scan_s,
+            "mb_per_s": report.scanned_bytes / scan_s / 1e6,
+        },
+        "recover": {
+            "recover_s": recover_s,
+            "replayed": replayed,
+            "replayed_per_s": replayed / recover_s,
+        },
+    }
+
+
+def run_benchmark() -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-recovery-") as tmp:
+        sizes = {
+            str(base): _bench_size(Path(tmp), base) for base in SIZES
+        }
+    payload = {
+        "schema": "bench_recovery/v1",
+        "scale": harness.bench_scale(),
+        "sizes": sizes,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    for name, stats in sizes.items():
+        print(
+            f"recovery[{name}]: fsck "
+            f"{stats['fsck']['records_per_s']:.0f} rec/s "
+            f"({stats['fsck']['mb_per_s']:.1f} MB/s), recover "
+            f"{stats['recover']['replayed_per_s']:.0f} replayed rec/s"
+        )
+    return payload
+
+
+def test_recovery_benchmark(benchmark):
+    payload = run_once(benchmark, run_benchmark)
+    assert OUTPUT.exists()
+    for stats in payload["sizes"].values():
+        assert stats["fsck"]["records_per_s"] > 0
+        assert stats["recover"]["replayed"] > 0
+
+
+if __name__ == "__main__":
+    run_benchmark()

@@ -1,4 +1,4 @@
-"""Interprocedural sketchlint rules (SL012–SL015).
+"""Interprocedural sketchlint rules (SL012–SL016).
 
 These rules run on a :class:`~repro.analysis.callgraph.Project` — symbol
 table, call graph and dataflow summaries — so they see through the
@@ -18,8 +18,14 @@ helper wrappers that defeat the per-module rules:
 * **SL015** unpropagated RNG state: forked work whose *callee chain*
   consumes a seeded generator while no determinism plan (pre-draw,
   spawn, state transplant) is visible anywhere around the dispatch.
+* **SL016** swallowed durability error: an ``except OSError`` /
+  ``except Exception`` handler on a durability-reachable path that
+  neither re-raises, nor routes the failure into a health transition
+  (degrade / quarantine / fail), nor stores the exception for a later
+  raise — the I/O failure silently disappears and the runtime keeps
+  acknowledging writes it may not be able to replay.
 
-All four under-approximate: an unresolvable call contributes no edge,
+All five under-approximate: an unresolvable call contributes no edge,
 so every finding rests on an actual resolved path, which is quoted in
 the message (``entry -> wrapper -> sink``).
 """
@@ -493,3 +499,175 @@ class UnpropagatedRNGRule(ProjectRule):
             if summary is not None and summary.touches_rng:
                 return qualname
         return None
+
+
+#: Exception names whose handlers can hide durability failures.
+_SWALLOWABLE = {"OSError", "IOError", "Exception", "BaseException"}
+
+#: Call-name substrings that count as routing a failure into the
+#: supervision machinery rather than swallowing it: health transitions,
+#: quarantine/dead-letter moves, verdict recording and typed rejection.
+_FAILURE_ROUTES = (
+    "quarantine",
+    "degrade",
+    "fail",
+    "transition",
+    "verdict",
+    "reject",
+    "heal",
+)
+
+
+def _caught_durability_type(handler: ast.ExceptHandler) -> str | None:
+    """The swallowable exception name the handler catches, if any."""
+    if handler.type is None:
+        return "bare except"
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for type_node in types:
+        if isinstance(type_node, ast.Name) and type_node.id in _SWALLOWABLE:
+            return type_node.id
+    return None
+
+
+def _call_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _handler_swallows(
+    handler: ast.ExceptHandler, fn_node: ast.AST
+) -> bool:
+    """Whether the handler hides the failure rather than handling it.
+
+    A handler *handles* a durability error when it raises (anything —
+    re-raise, typed ``DegradedError``, wrapped cause), when it calls
+    into the supervision machinery (a call whose name mentions
+    quarantine / degrade / fail / transition / verdict / reject /
+    heal), or when it stores the bound exception for a later raise
+    (the ``last = exc`` retry-loop idiom).  Anything else swallows.
+    """
+    for inner in ast.walk(handler):
+        if isinstance(inner, ast.Raise):
+            return False
+        if isinstance(inner, ast.Call) and any(
+            route in _call_name(inner).lower() for route in _FAILURE_ROUTES
+        ):
+            return False
+    bound = handler.name
+    if bound is not None:
+        for inner in ast.walk(handler):
+            targets: list[ast.expr] = []
+            if isinstance(inner, ast.Assign):
+                targets = inner.targets
+            elif isinstance(inner, (ast.AnnAssign, ast.AugAssign)):
+                targets = [inner.target]
+            if not targets:
+                continue
+            uses_bound = any(
+                isinstance(part, ast.Name) and part.id == bound
+                for value in ([inner.value] if inner.value else [])
+                for part in ast.walk(value)
+            )
+            if not uses_bound:
+                continue
+            # The exception escapes the handler into a named slot; if
+            # any raise in the enclosing function mentions that slot,
+            # the failure still surfaces (bounded-retry idiom).
+            names = {
+                target.id
+                for target in targets
+                if isinstance(target, ast.Name)
+            }
+            for part in ast.walk(fn_node):
+                if isinstance(part, ast.Raise) and any(
+                    isinstance(sub, ast.Name) and sub.id in names
+                    for node in filter(None, (part.exc, part.cause))
+                    for sub in ast.walk(node)
+                ):
+                    return False
+    return True
+
+
+@register_project
+class SwallowedDurabilityErrorRule(ProjectRule):
+    """SL016: durability-reachable handler swallows an I/O failure.
+
+    SL004 flags broad handlers syntactically, everywhere, and says
+    nothing about ``except OSError`` — which is *narrow* in general
+    code but load-bearing on the durability paths: an ``OSError``
+    swallowed between ``wal.append`` and the acknowledgement means the
+    caller believes a record is durable that was never written.  This
+    rule walks the call graph from every ``store/`` / ``io/`` /
+    ``runtime/`` function and flags any reachable handler that catches
+    ``OSError`` / ``Exception`` / bare and neither re-raises, nor
+    routes the failure into the health machinery (degrade, quarantine,
+    fail, reject, verdict, transition), nor stores it for a later
+    raise.  :mod:`repro.io.atomic` is exempt (its best-effort cleanup
+    handlers run *after* the durable rename).
+    """
+
+    code = "SL016"
+    summary = "durability-reachable except swallows an I/O failure"
+    rationale = (
+        "A swallowed OSError on the WAL/checkpoint path silently "
+        "acknowledges writes that were never made durable; failures "
+        "must re-raise, degrade the runtime, or feed a bounded retry "
+        "that eventually raises."
+    )
+
+    def check_project(self, project: Project) -> None:
+        entries = [
+            fn.qualname
+            for fn in project.symbols.functions.values()
+            if _in_durability_scope(fn.path)
+        ]
+        if not entries:
+            return
+        parents = project.reachable(entries)
+        reported: set[tuple[str, int]] = set()
+        for qualname in parents:
+            fn = project.symbols.functions.get(qualname)
+            if fn is None or fn.module in _SANCTIONED_WRITERS:
+                continue
+            for handler in self._handlers_in_scope(fn):
+                caught = _caught_durability_type(handler)
+                if caught is None or not _handler_swallows(handler, fn.node):
+                    continue
+                key = (fn.path, handler.lineno)
+                if key in reported:
+                    continue
+                reported.add(key)
+                route = _arrow(Project.path_to(parents, qualname))
+                self.report(
+                    fn.path,
+                    handler,
+                    f"{caught} swallowed in {fn.qualname} on a "
+                    f"durability-reachable path ({route}); re-raise, "
+                    "degrade the runtime, or store the failure for a "
+                    "bounded-retry raise",
+                )
+
+    @staticmethod
+    def _handlers_in_scope(fn: FunctionInfo) -> list[ast.ExceptHandler]:
+        """Except handlers lexically inside ``fn``'s own scope."""
+        handlers: list[ast.ExceptHandler] = []
+        stack: list[ast.AST] = [fn.node]
+        while stack:
+            node = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ) and child is not fn.node:
+                    continue
+                if isinstance(child, ast.ExceptHandler):
+                    handlers.append(child)
+                stack.append(child)
+        return handlers

@@ -21,6 +21,12 @@ Three groups of functionality::
     python -m repro.cli ingest ./rt more.jsonl --resume
     python -m repro.cli recover ./rt --export ./rt.store
 
+    # Durability scrub: verify every WAL frame and checkpoint, classify
+    # damage, optionally quarantine + repair (exit 0 clean, 1 damaged
+    # but recoverable, 2 unrecoverable).
+    python -m repro.cli fsck ./rt
+    python -m repro.cli fsck ./rt --repair --json
+
     # Static analysis: the sketch-invariant linter (see
     # docs/static-analysis.md); `python -m repro.analysis` is equivalent.
     python -m repro.cli lint src --format json
@@ -221,16 +227,58 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.runtime import IngestRuntime, RecoveryError
 
     try:
-        runtime = IngestRuntime.recover(args.directory)
+        runtime = IngestRuntime.recover(
+            args.directory,
+            acknowledge_data_loss=args.acknowledge_data_loss,
+        )
     except RecoveryError as exc:
         print(f"recovery failed: {exc}", file=sys.stderr)
         return 1
+    report = runtime.fsck_report
+    if report is not None and not report.clean:
+        print(f"fsck: {report.summary()}", file=sys.stderr)
+        for action in report.actions:
+            print(f"fsck: {action}", file=sys.stderr)
     if args.export:
         runtime.store.save(args.export)
         print(f"exported recovered store to {args.export}")
     runtime.close()
     print(_json.dumps(runtime.describe(), indent=2))
+    if report is not None and report.data_loss and not args.acknowledge_data_loss:
+        print(
+            "recovered DEGRADED READ-ONLY: acknowledged records were lost "
+            "(re-run with --acknowledge-data-loss to accept)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.runtime import run_fsck
+
+    report = run_fsck(args.directory, repair=args.repair)
+    if args.json:
+        print(_json.dumps(report.as_dict(), indent=2))
+    else:
+        print(f"{args.directory}: {report.summary()}")
+        for seg in report.segments:
+            if seg.verdict != "clean" or seg.detail:
+                print(f"  segment {seg.name}: {seg.verdict} {seg.detail}")
+        for ckpt in report.checkpoints:
+            if ckpt.verdict != "clean":
+                print(f"  checkpoint {ckpt.name}: {ckpt.verdict}")
+        if report.pointer.verdict != "clean":
+            print(
+                f"  pointer: {report.pointer.verdict} {report.pointer.detail}"
+            )
+        for action in report.actions:
+            print(f"  repair: {action}")
+    if not report.recoverable:
+        return 2
+    return 0 if report.clean else 1
 
 
 def _query_items(args: argparse.Namespace) -> list[int]:
@@ -413,6 +461,33 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument(
         "--export", default=None, help="also save the recovered store here"
     )
+    recover.add_argument(
+        "--acknowledge-data-loss",
+        action="store_true",
+        help="accept any record loss the pre-recovery fsck quarantined "
+        "and resume writable (otherwise the runtime recovers degraded "
+        "read-only)",
+    )
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="durability scrub: re-verify every WAL frame, checkpoint "
+        "and the CHECKPOINT pointer; classify damage and optionally "
+        "repair (exit 0 clean, 1 damaged-but-recoverable, 2 "
+        "unrecoverable)",
+    )
+    fsck.add_argument("directory", help="runtime directory")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt segments/checkpoints, truncate torn "
+        "tails and rewrite the pointer at the best intact checkpoint",
+    )
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full machine-readable report instead of a summary",
+    )
 
     query = sub.add_parser("query", help="query a sketch archive")
     query.add_argument("archive")
@@ -463,6 +538,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_ingest(args)
     if args.command == "recover":
         return _cmd_recover(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "query":
         return _cmd_query(args)
     raise SystemExit(2)  # pragma: no cover - argparse enforces choices

@@ -28,16 +28,20 @@ from repro.engine.frozen import (
     FrozenHeavyHitters,
     FrozenPWCAMS,
     FrozenShardedSketch,
+    FrozenStoreView,
     freeze,
+    freeze_store,
 )
 
 __all__ = [
     "batch_ingest",
     "batch_hash_columns",
     "freeze",
+    "freeze_store",
     "FrozenCountMin",
     "FrozenPWCAMS",
     "FrozenAMS",
     "FrozenHeavyHitters",
     "FrozenShardedSketch",
+    "FrozenStoreView",
 ]

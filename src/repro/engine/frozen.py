@@ -1124,3 +1124,94 @@ def freeze(
         f"PersistentCountMin, PWCCountMin, PWCAMS, PersistentAMS, "
         f"PersistentHeavyHitters, ShardedPersistentSketch"
     )
+
+
+class FrozenStoreView:
+    """Immutable multi-stream query view over a whole sketch store.
+
+    Built by :func:`freeze_store`: every stream's point sketch — and its
+    heavy-hitter hierarchy and join sketch where the stream spec enables
+    them — is compiled into its frozen columnar form, keyed by stream
+    name.  The view is the degraded-mode serving surface of
+    :class:`repro.runtime.IngestRuntime`: a runtime that has stopped
+    accepting writes keeps answering point / heavy-hitter / self-join
+    queries from this snapshot at frozen-engine speed.
+
+    The view is as-of snapshot time: the live store may keep ingesting
+    afterwards without affecting answers here.  Cross-stream
+    ``join_size`` and the quantile estimators stay live-only (they need
+    the live hierarchy pairing); query them on the store itself.
+    """
+
+    def __init__(self, store, workers: int | None = None) -> None:
+        self._point: dict = {}
+        self._hh: dict = {}
+        self._join: dict = {}
+        self._clocks: dict = {}
+        for name in store.streams():
+            state = store._state(name)
+            self._point[name] = freeze(state.point_sketch, workers=workers)
+            if state.hh_sketch is not None:
+                self._hh[name] = freeze(state.hh_sketch, workers=workers)
+            if state.join_sketch is not None:
+                self._join[name] = freeze(state.join_sketch, workers=workers)
+            self._clocks[name] = int(state.point_sketch.now)
+
+    def streams(self) -> list:
+        """Names of all frozen streams."""
+        return sorted(self._point)
+
+    def clock(self, name: str) -> int:
+        """Stream clock at snapshot time."""
+        self._frozen(self._point, name)
+        return self._clocks[name]
+
+    def _frozen(self, table: dict, name: str):
+        frozen = table.get(name)
+        if frozen is None:
+            if name not in self._point:
+                raise KeyError(f"unknown stream {name!r}")
+            raise ValueError(
+                f"stream {name!r} was not created with the sketch this "
+                "query needs (heavy_hitters/joinable)"
+            )
+        return frozen
+
+    def point(
+        self, name: str, item: int, s: float = 0, t: float | None = None
+    ) -> float:
+        """Window frequency estimate, bit-equal to the live path."""
+        return self._frozen(self._point, name).point(item, s, t)
+
+    def point_many(
+        self,
+        name: str,
+        items: Sequence[int] | np.ndarray,
+        windows: Sequence[tuple],
+    ) -> np.ndarray:
+        """Vectorized window frequency estimates for one stream."""
+        return self._frozen(self._point, name).point_many(items, windows)
+
+    def heavy_hitters(
+        self, name: str, phi: float, s: float = 0, t: float | None = None
+    ) -> dict:
+        """Window heavy hitters (requires ``heavy_hitters=True`` spec)."""
+        return self._frozen(self._hh, name).heavy_hitters(phi, s, t)
+
+    def self_join_size(
+        self, name: str, s: float = 0, t: float | None = None
+    ) -> float:
+        """Window second frequency moment (requires ``joinable=True``)."""
+        return self._frozen(self._join, name).self_join_size(s, t)
+
+
+def freeze_store(store, workers: int | None = None) -> FrozenStoreView:
+    """Freeze every stream of ``store`` into a :class:`FrozenStoreView`.
+
+    Drains any live worker pools first (freezing is a master-side read),
+    then compiles each stream's sketches via :func:`freeze`.  ``workers``
+    sets the fan-out width used for table construction and large
+    ``point_many`` batches.
+    """
+    store.drain_workers(strict=False)
+    return FrozenStoreView(store, workers=workers)

@@ -10,18 +10,23 @@ bit-identical to serial for every sketch type — see ``docs/api.md``
 
 from __future__ import annotations
 
-from repro.parallel.errors import IngestError
+from repro.parallel.errors import IngestError, WorkerUnavailable
 from repro.parallel.pool import (
     WorkerHandler,
     WorkerPool,
     fork_available,
+    install_pool_faults,
     parallel_map,
+    pool_faults,
 )
 
 __all__ = [
     "IngestError",
     "WorkerHandler",
     "WorkerPool",
+    "WorkerUnavailable",
     "fork_available",
+    "install_pool_faults",
     "parallel_map",
+    "pool_faults",
 ]

@@ -14,4 +14,22 @@ class IngestError(RuntimeError):
     recovery replays to the exact pre-failure state plus the durable
     tail.  A sketch whose workers died with unmerged rows refuses further
     queries with this error rather than serving stale answers.
+
+    Since the self-healing pool landed, plain worker death no longer
+    raises this: the pool respawns the worker and replays the journaled
+    batches bit-identically (see :class:`repro.parallel.WorkerPool`).
+    What still poisons a pool is a handler that *raises* twice in a row
+    (a deterministic bug, not a fault) or a slot whose inline serial
+    fallback also fails.
+    """
+
+
+class WorkerUnavailable(IngestError):
+    """A worker could not be reached and the operation had no replay path.
+
+    Raised by one-shot fan-outs (:func:`repro.parallel.parallel_map`)
+    whose ephemeral children died before returning results: there is no
+    journal to replay, so the caller must re-run the whole map.
+    Subclasses :class:`IngestError` so existing poison-handling call
+    sites keep working.
     """

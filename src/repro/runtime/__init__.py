@@ -13,18 +13,29 @@ crash-safe ingestion loop:
   malformed and late records (``raise`` / ``skip`` / ``quarantine`` to a
   dead-letter file) plus bounded retry-with-backoff for snapshot I/O;
 * :class:`~repro.runtime.faults.FaultPlan` — deterministic fault
-  injection (torn writes, transient ``OSError``, simulated crashes at
-  the Nth record or checkpoint) driving the crash-recovery property
-  tests.
+  injection (torn writes, transient ``OSError``, simulated crashes,
+  worker kills/hangs, at-rest corruption) driving the crash-recovery
+  and chaos-matrix property tests;
+* :func:`~repro.runtime.fsck.run_fsck` — the durability scrubber behind
+  ``repro fsck``: re-verifies every WAL frame and checkpoint, classifies
+  damage (torn tail / corrupt / orphaned), quarantines what replay
+  cannot use, and reports any acknowledged-record loss explicitly;
+* :class:`~repro.runtime.health.HealthMonitor` — degraded-mode
+  supervision: ``HEALTHY -> DEGRADED_READONLY -> FAILED``, typed write
+  rejection (:class:`~repro.runtime.health.DegradedError`), and
+  hysteresis-based re-probing back to health.
 
-See ``docs/robustness.md`` for the on-disk formats and the recovery
-semantics, and ``tests/test_runtime_recovery.py`` for the kill-and-
-recover property test the design is held to.
+See ``docs/robustness.md`` for the on-disk formats, the recovery
+semantics and the failure-mode matrix, and
+``tests/test_runtime_recovery.py`` / ``tests/test_chaos_matrix.py`` for
+the kill-and-recover property tests the design is held to.
 """
 
 from __future__ import annotations
 
 from repro.runtime.faults import FaultPlan, SimulatedCrash
+from repro.runtime.fsck import FsckReport, run_fsck
+from repro.runtime.health import DegradedError, HealthMonitor, HealthState
 from repro.runtime.policies import (
     DeadLetterFile,
     IngestPolicy,
@@ -49,4 +60,9 @@ __all__ = [
     "LateRecordError",
     "SnapshotRetryError",
     "RecoveryError",
+    "FsckReport",
+    "run_fsck",
+    "DegradedError",
+    "HealthMonitor",
+    "HealthState",
 ]

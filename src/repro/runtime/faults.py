@@ -42,6 +42,8 @@ class FaultPlan:
     io_error_at_checkpoint:
         Raise ``OSError`` at the start of the Nth checkpoint attempt,
         ``io_error_count`` consecutive times (exercises retry/backoff).
+        With ``io_error_enospc`` the error carries ``errno.ENOSPC`` (a
+        full disk — the canonical degraded-mode trigger).
     crash_at_checkpoint:
         Crash during the Nth checkpoint, after the snapshot directory is
         written but before the ``CHECKPOINT`` pointer commits (recovery
@@ -50,6 +52,32 @@ class FaultPlan:
         Let the Nth checkpoint commit, then corrupt its archives by
         truncation *and crash* (recovery must detect the damage and fall
         back to the previous checkpoint + a longer WAL replay).
+    pool_kill_worker / pool_kill_at_batch:
+        ``SIGKILL`` worker ``pool_kill_worker`` just before the pool
+        dispatches its Nth ``feed`` (dead-worker detection + respawn).
+    pool_hang_worker / pool_hang_at_batch / pool_hang_seconds:
+        Make that worker sleep without replying at the Nth ``feed``
+        (reply-deadline detection; pair with
+        ``pool_reply_deadline_s`` so tests don't wait out the default).
+    pool_reply_deadline_s:
+        Override the pool's per-reply deadline while this plan is
+        installed (see :func:`repro.parallel.pool.pool_faults`).
+    pool_fail_respawns:
+        Force the first N respawn attempts to fail (exercises the
+        capped backoff and, when it exceeds the respawn budget, the
+        inline serial fallback).
+    flip_byte_in_segment / flip_byte_offset:
+        At-rest corruption (:meth:`apply_at_rest`): XOR one byte at
+        ``flip_byte_offset`` of the Nth WAL segment (1-based, oldest
+        first; negative offsets index from the end of the file).
+    truncate_checkpoint_at_rest:
+        At-rest corruption: truncate every archive of the Nth checkpoint
+        directory (1-based, oldest first) to half its size.
+    delete_checkpoint_at_rest:
+        At-rest corruption: remove the Nth checkpoint directory.
+    delete_pointer_at_rest / corrupt_pointer_at_rest:
+        At-rest corruption: remove, or overwrite with garbage, the
+        ``CHECKPOINT`` pointer file.
     """
 
     crash_before_record: int | None = None
@@ -57,12 +85,30 @@ class FaultPlan:
     crash_after_record: int | None = None
     io_error_at_checkpoint: int | None = None
     io_error_count: int = 1
+    io_error_enospc: bool = False
     crash_at_checkpoint: int | None = None
     truncate_snapshot_at_checkpoint: int | None = None
 
+    pool_kill_worker: int | None = None
+    pool_kill_at_batch: int | None = None
+    pool_hang_worker: int | None = None
+    pool_hang_at_batch: int | None = None
+    pool_hang_seconds: float = 3600.0
+    pool_reply_deadline_s: float | None = None
+    pool_fail_respawns: int = 0
+
+    flip_byte_in_segment: int | None = None
+    flip_byte_offset: int = 0
+    truncate_checkpoint_at_rest: int | None = None
+    delete_checkpoint_at_rest: int | None = None
+    delete_pointer_at_rest: bool = False
+    corrupt_pointer_at_rest: bool = False
+
     records_seen: int = field(default=0, init=False)
     checkpoints_seen: int = field(default=0, init=False)
+    pool_batches_seen: int = field(default=0, init=False)
     _io_errors_raised: int = field(default=0, init=False)
+    _respawns_failed: int = field(default=0, init=False)
 
     # ------------------------------------------------------------------ #
     # Record-path hooks (called by the runtime / WAL)
@@ -122,11 +168,16 @@ class FaultPlan:
             and self._io_errors_raised < self.io_error_count
         ):
             self._io_errors_raised += 1
-            raise OSError(
+            message = (
                 f"scripted transient IO error at checkpoint "
                 f"{self.checkpoints_seen} "
                 f"(attempt {self._io_errors_raised}/{self.io_error_count})"
             )
+            if self.io_error_enospc:
+                import errno
+
+                raise OSError(errno.ENOSPC, message)
+            raise OSError(message)
 
     def before_pointer_commit(self) -> None:
         """Crash hook between snapshot write and pointer commit."""
@@ -139,3 +190,92 @@ class FaultPlan:
     def corrupt_committed_snapshot(self) -> bool:
         """Whether to truncate the just-committed snapshot and crash."""
         return self.checkpoints_seen == self.truncate_snapshot_at_checkpoint
+
+    # ------------------------------------------------------------------ #
+    # Worker-pool hooks (called by repro.parallel.pool when installed
+    # via pool_faults(); duck-typed there to avoid an import cycle)
+    # ------------------------------------------------------------------ #
+
+    def pool_feed_actions(self) -> list[tuple[int, str, float]]:
+        """Advance the pool-batch ordinal; scripted ``(worker, action,
+        arg)`` tuples for this ``feed`` (action in ``{"kill", "hang"}``)."""
+        self.pool_batches_seen += 1
+        actions: list[tuple[int, str, float]] = []
+        if (
+            self.pool_kill_worker is not None
+            and self.pool_batches_seen == self.pool_kill_at_batch
+        ):
+            actions.append((self.pool_kill_worker, "kill", 0.0))
+        if (
+            self.pool_hang_worker is not None
+            and self.pool_batches_seen == self.pool_hang_at_batch
+        ):
+            actions.append(
+                (self.pool_hang_worker, "hang", self.pool_hang_seconds)
+            )
+        return actions
+
+    def pool_respawn_should_fail(self) -> bool:
+        """Whether the next worker respawn attempt is scripted to fail."""
+        if self._respawns_failed < self.pool_fail_respawns:
+            self._respawns_failed += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # At-rest corruption (applied to a closed runtime directory)
+    # ------------------------------------------------------------------ #
+
+    def apply_at_rest(self, directory) -> list[str]:
+        """Damage a *closed* runtime directory as scripted; returns a
+        description of each action (for chaos-test assertions).
+
+        This is the media-failure half of the plan: bit-rot inside a
+        sealed WAL segment, a truncated or vanished checkpoint, a lost
+        pointer — the damage :func:`repro.runtime.fsck.run_fsck` exists
+        to detect.  Unlike the crash hooks, these mutate files directly
+        rather than interrupting a live runtime.
+        """
+        from pathlib import Path
+
+        directory = Path(directory)
+        actions: list[str] = []
+        if self.flip_byte_in_segment is not None:
+            segments = sorted((directory / "wal").glob("segment-*.wal"))
+            path = segments[self.flip_byte_in_segment - 1]
+            data = bytearray(path.read_bytes())
+            offset = self.flip_byte_offset
+            if offset < 0:
+                offset += len(data)
+            offset = max(0, min(offset, len(data) - 1))
+            data[offset] ^= 0xFF
+            path.write_bytes(bytes(data))  # sketchlint: disable=SL009 — corruption injection: the non-atomic in-place write IS the fault
+            actions.append(
+                f"flipped byte {offset} of {path.name}"
+            )
+        for ordinal, remove in (
+            (self.truncate_checkpoint_at_rest, False),
+            (self.delete_checkpoint_at_rest, True),
+        ):
+            if ordinal is None:
+                continue
+            checkpoints = sorted((directory / "checkpoints").glob("ckpt-*"))
+            target = checkpoints[ordinal - 1]
+            if remove:
+                import shutil
+
+                shutil.rmtree(target)
+                actions.append(f"deleted checkpoint {target.name}")
+            else:
+                for archive in sorted(target.glob("*.json.gz")):
+                    blob = archive.read_bytes()
+                    archive.write_bytes(blob[: len(blob) // 2])  # sketchlint: disable=SL009 — corruption injection: the non-atomic in-place write IS the fault
+                actions.append(f"truncated archives of {target.name}")
+        pointer = directory / "CHECKPOINT"
+        if self.delete_pointer_at_rest:
+            pointer.unlink(missing_ok=True)
+            actions.append("deleted CHECKPOINT pointer")
+        if self.corrupt_pointer_at_rest:
+            pointer.write_text("{ not json", encoding="utf-8")  # sketchlint: disable=SL009 — corruption injection: the non-atomic in-place write IS the fault
+            actions.append("corrupted CHECKPOINT pointer")
+        return actions

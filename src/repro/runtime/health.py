@@ -1,0 +1,298 @@
+"""Degraded-mode supervision for the ingestion runtime.
+
+A long-lived ingest service cannot treat every disk hiccup as fatal:
+``ENOSPC`` during a snapshot, a quarantined WAL segment, or exhausted
+snapshot retries are all survivable *if* the service stops accepting
+writes it can no longer make durable while continuing to answer queries
+from the state it already holds.  This module is that supervision layer:
+
+:class:`HealthState`
+    ``HEALTHY -> DEGRADED_READONLY -> FAILED``.  ``DEGRADED_READONLY``
+    rejects writes (with a typed :class:`DegradedError` carrying the
+    cause) but keeps serving live and frozen queries; ``FAILED`` means
+    the in-memory state may have diverged from the WAL (an apply-path
+    exception after durability) and refuses reads too.
+
+:class:`HealthMonitor`
+    The state machine plus hysteresis-based re-probing: while degraded
+    for a *recoverable* cause (a flaky or full disk), every
+    ``probe_interval``-th rejected write runs a cheap durability probe
+    (write + fsync + unlink of a token file); ``heal_after`` consecutive
+    successful probes flip the runtime back to ``HEALTHY``.  Hysteresis
+    prevents flapping on a disk that is intermittently writable.
+
+Non-recoverable degradations (``wal-quarantined`` after fsck detected
+data loss) are *sticky*: no amount of probing clears them, because the
+problem is not the disk but the history — an operator must call
+:meth:`HealthMonitor.acknowledge` (``repro fsck --repair`` /
+``IngestRuntime.acknowledge_data_loss``) to accept the loss explicitly.
+
+See ``docs/robustness.md`` for the full failure-mode matrix.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from pathlib import Path
+from time import monotonic
+from typing import Any, Callable
+
+
+class HealthState(enum.Enum):
+    """Runtime health, ordered from fully serving to fully stopped."""
+
+    #: Accepting writes and serving queries.
+    HEALTHY = "healthy"
+    #: Rejecting writes (durability cannot be promised) but still
+    #: serving live and frozen queries from the state already applied.
+    DEGRADED_READONLY = "degraded-readonly"
+    #: In-memory state is suspect (apply diverged from the WAL after a
+    #: record was already durable); both writes and reads are refused.
+    FAILED = "failed"
+
+
+class DegradedError(RuntimeError):
+    """An operation was refused because of the runtime's health state.
+
+    Attributes
+    ----------
+    state:
+        The :class:`HealthState` that caused the refusal.
+    cause:
+        Stable machine-readable cause token (e.g. ``"wal-io-error"``,
+        ``"snapshot-retries-exhausted"``, ``"wal-quarantined"``,
+        ``"apply-divergence"``).
+    detail:
+        Human-readable elaboration of the cause.
+    """
+
+    def __init__(self, state: HealthState, cause: str, detail: str) -> None:
+        super().__init__(
+            f"runtime is {state.value} ({cause}): {detail}"
+        )
+        self.state = state
+        self.cause = cause
+        self.detail = detail
+
+
+def _probe_directory(directory: Path) -> bool:
+    """Durably write, fsync and remove a token file; ``False`` on failure.
+
+    This is the default recovery probe: it exercises exactly the
+    operations an ingest needs (open/append/fsync in the runtime
+    directory), so its success is evidence the WAL would accept writes
+    again.
+    """
+    token = directory / ".health-probe"
+    try:
+        with open(token, "w", encoding="utf-8") as handle:  # sketchlint: disable=SL012 — probe token, not durable state; outcome is the boolean
+            handle.write("ok\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        token.unlink()
+    except OSError:  # sketchlint: disable=SL016 — the probe's contract IS classifying OSError as "still not writable"
+        return False
+    return True
+
+
+class HealthMonitor:
+    """``HEALTHY -> DEGRADED_READONLY -> FAILED`` with probed healing.
+
+    Parameters
+    ----------
+    directory:
+        Runtime directory the default durability probe writes into.
+    probe:
+        Optional zero-argument callable returning ``True`` when the
+        underlying storage accepts durable writes again; defaults to a
+        write+fsync+unlink of ``.health-probe`` in ``directory``.  Tests
+        inject stubs to script recovery.
+    probe_interval:
+        Run the probe on every Nth rejected write while degraded
+        (1 = probe on every rejection).  The first rejection after a
+        degradation always probes.
+    heal_after:
+        Consecutive successful probes required before flipping back to
+        ``HEALTHY`` (hysteresis against flapping disks).
+    clock:
+        Monotonic-seconds source for checkpoint-age reporting
+        (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        probe: Callable[[], bool] | None = None,
+        probe_interval: int = 8,
+        heal_after: int = 2,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if probe_interval < 1:
+            raise ValueError("probe_interval must be >= 1")
+        if heal_after < 1:
+            raise ValueError("heal_after must be >= 1")
+        self.directory = Path(directory)
+        self.probe_interval = probe_interval
+        self.heal_after = heal_after
+        self._probe = probe
+        self._clock = monotonic if clock is None else clock
+        self.state = HealthState.HEALTHY
+        self.cause: str | None = None
+        self.detail: str | None = None
+        self.recoverable = True
+        #: Counters surfaced by :meth:`snapshot`.
+        self.rejected_writes = 0
+        self.degradations = 0
+        self.heals = 0
+        self.probes_run = 0
+        self.quarantined_segments = 0
+        self.quarantined_checkpoints = 0
+        self._probe_streak = 0
+        # First rejection after a degradation probes immediately.
+        self._rejections_since_probe = probe_interval
+        self._last_checkpoint_at: float | None = None
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+
+    def degrade(
+        self, cause: str, detail: str, *, recoverable: bool = True
+    ) -> None:
+        """Enter ``DEGRADED_READONLY`` (no-op when already ``FAILED``).
+
+        ``recoverable=False`` marks the degradation sticky: probing never
+        clears it and only :meth:`acknowledge` returns to ``HEALTHY``.
+        A sticky cause also wins over a later recoverable one.
+        """
+        if self.state is HealthState.FAILED:
+            return
+        if (
+            self.state is HealthState.DEGRADED_READONLY
+            and not self.recoverable
+        ):
+            return  # sticky cause keeps precedence
+        self.state = HealthState.DEGRADED_READONLY
+        self.cause = cause
+        self.detail = detail
+        self.recoverable = recoverable
+        self.degradations += 1
+        self._probe_streak = 0
+        self._rejections_since_probe = self.probe_interval
+
+    def fail(self, cause: str, detail: str) -> None:
+        """Enter terminal ``FAILED``: reads and writes are both refused."""
+        self.state = HealthState.FAILED
+        self.cause = cause
+        self.detail = detail
+        self.recoverable = False
+        self.degradations += 1
+
+    def acknowledge(self) -> None:
+        """Operator acceptance of a sticky degradation (e.g. data loss).
+
+        Returns the monitor to ``HEALTHY``; refuses to resurrect a
+        ``FAILED`` runtime (recover from disk instead).
+        """
+        if self.state is HealthState.FAILED:
+            raise DegradedError(
+                self.state,
+                self.cause or "failed",
+                "a failed runtime cannot be acknowledged back to health; "
+                "recover from the on-disk state instead",
+            )
+        self._heal()
+
+    def _heal(self) -> None:
+        self.state = HealthState.HEALTHY
+        self.cause = None
+        self.detail = None
+        self.recoverable = True
+        self.heals += 1
+        self._probe_streak = 0
+
+    # ------------------------------------------------------------------ #
+    # Gates
+    # ------------------------------------------------------------------ #
+
+    def check_writable(self) -> None:
+        """Gate every write; raises :class:`DegradedError` when refused.
+
+        While degraded for a recoverable cause this is also the healing
+        engine: every ``probe_interval``-th rejection runs the probe and
+        ``heal_after`` consecutive successes re-enter ``HEALTHY`` —
+        in which case the *current* write proceeds.
+        """
+        if self.state is HealthState.HEALTHY:
+            return
+        if self.state is HealthState.DEGRADED_READONLY and self.recoverable:
+            self._rejections_since_probe += 1
+            if self._rejections_since_probe >= self.probe_interval:
+                self._rejections_since_probe = 0
+                if self.probe():
+                    self._probe_streak += 1
+                    if self._probe_streak >= self.heal_after:
+                        self._heal()
+                        return  # healed: this write proceeds
+                else:
+                    self._probe_streak = 0
+        self.rejected_writes += 1
+        raise DegradedError(
+            self.state,
+            self.cause or "unknown",
+            self.detail or "no detail recorded",
+        )
+
+    def check_readable(self) -> None:
+        """Gate queries: only ``FAILED`` refuses reads."""
+        if self.state is HealthState.FAILED:
+            raise DegradedError(
+                self.state,
+                self.cause or "unknown",
+                self.detail or "no detail recorded",
+            )
+
+    def probe(self) -> bool:
+        """Run the durability probe once (also callable by operators)."""
+        self.probes_run += 1
+        if self._probe is not None:
+            return bool(self._probe())
+        return _probe_directory(self.directory)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def note_checkpoint(self) -> None:
+        """Record a successful checkpoint (feeds checkpoint-age)."""
+        self._last_checkpoint_at = self._clock()
+
+    def note_quarantine(self, segments: int, checkpoints: int = 0) -> None:
+        """Record fsck quarantine counts for :meth:`snapshot`."""
+        self.quarantined_segments += segments
+        self.quarantined_checkpoints += checkpoints
+
+    def checkpoint_age(self) -> float | None:
+        """Seconds since the last successful checkpoint (``None`` before
+        the first one)."""
+        if self._last_checkpoint_at is None:
+            return None
+        return self._clock() - self._last_checkpoint_at
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view of the monitor (the daemon's health endpoint)."""
+        return {
+            "state": self.state.value,
+            "cause": self.cause,
+            "detail": self.detail,
+            "recoverable": self.recoverable,
+            "rejected_writes": self.rejected_writes,
+            "degradations": self.degradations,
+            "heals": self.heals,
+            "probes_run": self.probes_run,
+            "quarantined_segments": self.quarantined_segments,
+            "quarantined_checkpoints": self.quarantined_checkpoints,
+            "checkpoint_age_s": self.checkpoint_age(),
+        }

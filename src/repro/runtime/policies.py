@@ -65,6 +65,14 @@ class IngestPolicy:
         Sleep before the first retry, in seconds.
     backoff_factor:
         Multiplier between consecutive retries.
+    backoff_cap:
+        Ceiling on any *single* backoff sleep, in seconds (exponential
+        growth saturates here instead of running away).
+    backoff_total_cap:
+        Ceiling on the *cumulative* time slept across all retries of one
+        operation; once reached, remaining retries run back-to-back.
+        Keeps worst-case retry latency bounded and fault-injection tests
+        off the real wall clock.
     """
 
     on_malformed: str = "raise"
@@ -72,6 +80,8 @@ class IngestPolicy:
     max_retries: int = 3
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    backoff_total_cap: float = 10.0
 
     def __post_init__(self) -> None:
         for name, value in (
@@ -86,6 +96,10 @@ class IngestPolicy:
             raise ValueError("max_retries must be >= 0")
         if self.backoff_base < 0 or self.backoff_factor < 1:
             raise ValueError("backoff_base >= 0 and backoff_factor >= 1")
+        if self.backoff_cap < 0 or self.backoff_total_cap < 0:
+            raise ValueError(
+                "backoff_cap >= 0 and backoff_total_cap >= 0"
+            )
 
 
 @dataclass
@@ -169,14 +183,25 @@ def run_with_retry(
     ``BaseException`` and always propagates (as a real crash would), and
     non-IO errors indicate bugs, not flaky disks.  Raises
     :class:`SnapshotRetryError` once the budget is exhausted.
+
+    The sleep callable is injectable (tests pass a recording stub or a
+    no-op, keeping fault injection off the real wall clock), and backoff
+    is doubly capped by the policy: per-sleep at ``backoff_cap`` and
+    cumulatively at ``backoff_total_cap`` — so an operation's worst-case
+    retry latency is bounded no matter how ``max_retries``,
+    ``backoff_base`` and ``backoff_factor`` are configured.
     """
     sleep = _time.sleep if sleep is None else sleep
     delay = policy.backoff_base
+    slept = 0.0
     last: OSError | None = None
     for attempt in range(policy.max_retries + 1):
         if attempt > 0:
             stats.snapshot_retries += 1
-            sleep(delay)
+            step = min(delay, policy.backoff_cap)
+            step = min(step, max(0.0, policy.backoff_total_cap - slept))
+            sleep(step)
+            slept += step
             delay *= policy.backoff_factor
         try:
             return operation()

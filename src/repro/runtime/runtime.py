@@ -43,7 +43,7 @@ import re
 import shutil
 from itertools import groupby
 from pathlib import Path
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, NoReturn
 
 import numpy as np
 
@@ -51,12 +51,15 @@ from repro.analysis import contracts
 from repro.io import SerializationError
 from repro.io.atomic import atomic_write_text
 from repro.runtime.faults import FaultPlan, SimulatedCrash
+from repro.runtime.fsck import FsckReport, run_fsck
+from repro.runtime.health import DegradedError, HealthMonitor
 from repro.runtime.policies import (
     DeadLetterFile,
     IngestPolicy,
     IngestStats,
     LateRecordError,
     MalformedRecordError,
+    SnapshotRetryError,
     run_with_retry,
 )
 from repro.runtime.wal import WriteAheadLog
@@ -97,6 +100,7 @@ class IngestRuntime:
         sleep: Callable[[float], None] | None = None,
         applied_seq: int = 0,
         workers: int | None = None,
+        probe: Callable[[], bool] | None = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -110,6 +114,8 @@ class IngestRuntime:
         self._sleep = sleep
         self.applied_seq = applied_seq
         self.stats = IngestStats()
+        self.monitor = HealthMonitor(self.directory, probe=probe)
+        self.fsck_report: FsckReport | None = None
         self.dead_letters = DeadLetterFile(self.directory / DEADLETTER_NAME)
         self.wal = WriteAheadLog(
             self.directory / "wal", next_seq=applied_seq + 1, faults=faults
@@ -134,6 +140,7 @@ class IngestRuntime:
         faults: FaultPlan | None = None,
         sleep: Callable[[float], None] | None = None,
         workers: int | None = None,
+        probe: Callable[[], bool] | None = None,
     ) -> "IngestRuntime":
         """Initialize a fresh runtime directory around ``store``.
 
@@ -160,6 +167,7 @@ class IngestRuntime:
             faults=faults,
             sleep=sleep,
             workers=workers,
+            probe=probe,
         )
         runtime._checkpoint_inner(bootstrap=True)
         return runtime
@@ -174,12 +182,28 @@ class IngestRuntime:
         faults: FaultPlan | None = None,
         sleep: Callable[[float], None] | None = None,
         workers: int | None = None,
+        probe: Callable[[], bool] | None = None,
+        fsck: bool = True,
+        acknowledge_data_loss: bool = False,
     ) -> "IngestRuntime":
         """Rebuild the runtime from its directory after a crash.
 
-        Tries checkpoints newest-first, skipping any whose snapshot no
-        longer opens cleanly (truncated archive, damaged manifest); the
-        WAL tail past the chosen checkpoint is replayed sequentially.
+        Runs the durability scrubber first (``fsck=True``, the default):
+        :func:`repro.runtime.fsck.run_fsck` re-verifies every CRC frame
+        and snapshot, truncates torn WAL tails, quarantines irreparably
+        damaged segments/checkpoints, and rewrites a missing or corrupt
+        ``CHECKPOINT`` pointer.  When the scrub proves *acknowledged*
+        records were lost (mid-segment corruption past the best
+        checkpoint), the recovered runtime comes up degraded read-only
+        with the sticky cause ``wal-quarantined`` — queries serve, writes
+        are refused until the loss is accepted explicitly
+        (``acknowledge_data_loss=True`` here, or
+        :meth:`acknowledge_data_loss` later).  The full report is kept on
+        :attr:`fsck_report`.
+
+        Then tries checkpoints newest-first, skipping any whose snapshot
+        no longer opens cleanly (truncated archive, damaged manifest);
+        the WAL tail past the chosen checkpoint is replayed sequentially.
         After replay the recovered store's timeline contracts are
         re-validated (regardless of ``REPRO_CONTRACTS``), so a corrupt
         recovery can never serve queries silently.
@@ -187,8 +211,12 @@ class IngestRuntime:
         from repro.engine.replay import replay_records
 
         directory = Path(directory)
+        report: FsckReport | None = None
+        if fsck:
+            report = run_fsck(directory, repair=True)
         # A crash mid-save can orphan a staging directory; it was never
-        # committed, so recovery sweeps it.
+        # committed, so recovery sweeps it.  (fsck already removed these
+        # when it ran; this keeps ``fsck=False`` safe too.)
         if (directory / "checkpoints").is_dir():
             for staging in (directory / "checkpoints").glob(
                 ".ckpt-*.saving.*"
@@ -217,13 +245,37 @@ class IngestRuntime:
         cls._repair_torn_tails(wal)
         last_seq = covered
 
-        def tracked() -> Iterable[dict[str, Any]]:
+        # Replay in cadence-aligned slices, re-snapshotting at every
+        # checkpoint boundary the tail crosses.  A replay tail only
+        # crosses a boundary when the checkpoint that once covered it is
+        # gone (fsck quarantined it, or snapshot I/O failed while
+        # degraded) — and snapshotting finalizes open PLA runs in place,
+        # so skipping the boundary would leave the recovered store
+        # diverged from a never-crashed twin.  Saving here both restores
+        # bit-identical answers and re-materialises the lost checkpoint
+        # on disk: recovery heals the checkpoint chain itself.
+        def slices() -> Iterable[list[dict[str, Any]]]:
             nonlocal last_seq
+            batch: list[dict[str, Any]] = []
             for record in wal.replay(covered):
                 last_seq = record["seq"]
-                yield record
+                batch.append(record)
+                if last_seq % checkpoint_every == 0:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
 
-        replayed = replay_records(store, tracked())
+        replayed = 0
+        resnapped = covered
+        for batch in slices():
+            replayed += replay_records(store, iter(batch))
+            if last_seq % checkpoint_every == 0 and last_seq > resnapped:
+                target = directory / "checkpoints" / f"ckpt-{last_seq:012d}"
+                if target.exists():  # damaged leftover (fsck=False path)
+                    shutil.rmtree(target)
+                store.save(target)
+                resnapped = last_seq
         with contracts.enforced(True):
             contracts.check_store(store)
 
@@ -239,15 +291,40 @@ class IngestRuntime:
             # the pool width only affects batches ingested from here on
             # (and parallel batches are bit-equal to serial anyway).
             workers=workers,
+            probe=probe,
         )
         runtime.stats.replayed = replayed
+        runtime.fsck_report = report
+        if report is not None:
+            runtime.monitor.note_quarantine(
+                sum(
+                    1
+                    for action in report.actions
+                    if action.startswith("quarantined") and "segment" in action
+                ),
+                sum(
+                    1
+                    for action in report.actions
+                    if action.startswith("quarantined") and "checkpoint" in action
+                ),
+            )
+            if report.data_loss and not acknowledge_data_loss:
+                runtime.monitor.degrade(
+                    "wal-quarantined",
+                    f"fsck quarantined damaged history: "
+                    f"{report.lost_records} acknowledged records lost, "
+                    f"{report.unknown_damaged_frames} frames undecodable; "
+                    "call acknowledge_data_loss() to accept and resume "
+                    "writes",
+                    recoverable=False,
+                )
         # Re-align the checkpoint schedule with an uninterrupted run:
         # snapshotting finalizes open PLA runs, so checkpoint *positions*
         # shape future segmentation.  Counting the replayed tail (and
         # immediately taking a checkpoint the crash pre-empted) keeps a
         # recovered run bit-identical to a never-crashed twin with the
         # same cadence.
-        runtime._since_checkpoint = last_seq - covered
+        runtime._since_checkpoint = last_seq - resnapped
         if runtime._since_checkpoint >= checkpoint_every:
             runtime.checkpoint()
         return runtime
@@ -315,30 +392,49 @@ class IngestRuntime:
         contract: once this method returns ``True`` the record is
         durable in the WAL; a record that never returned (crash) may be
         re-sent after recovery without double counting.
+
+        While the runtime is degraded (see :meth:`health`) this raises
+        :class:`~repro.runtime.health.DegradedError` without consuming
+        the record — unless the degradation is recoverable and the
+        periodic re-probe just proved the disk writable again, in which
+        case the runtime heals and this very record proceeds.
         """
+        self.monitor.check_writable()
         kind, record, time = self._classify(raw, self._clocks.get)
         if kind != "ok":
             return self._reject(kind, record, time)
 
         if self.faults is not None:
             self.faults.next_record()
-        seq = self.wal.append(
-            {
-                "stream": record.stream,
-                "item": record.item,
-                "count": record.count,
-                "time": time,
-            }
-        )
+        try:
+            seq = self.wal.append(
+                {
+                    "stream": record.stream,
+                    "item": record.item,
+                    "count": record.count,
+                    "time": time,
+                }
+            )
+        except OSError as exc:
+            self._degrade_for_wal_error(exc)
         if self.faults is not None:
             self.faults.after_record_durable()
-        self.store.update(record.stream, record.item, record.count, time)
+        try:
+            self.store.update(record.stream, record.item, record.count, time)
+        except Exception:
+            # The record is durable but the in-memory state may be
+            # half-applied: live answers can no longer be trusted.
+            self.monitor.fail(
+                "apply-divergence",
+                f"apply of durable record seq {seq} raised; in-memory "
+                "state diverged from the WAL — recover from disk",
+            )
+            raise
         self._clocks[record.stream] = time
         self.applied_seq = seq
         self.stats.ingested += 1
         self._since_checkpoint += 1
-        if self._since_checkpoint >= self.checkpoint_every:
-            self.checkpoint()
+        self._maybe_checkpoint()
         return True
 
     def ingest_batch(self, raws: Iterable[object]) -> int:
@@ -358,7 +454,12 @@ class IngestRuntime:
         exactly.  Acknowledgment is batch-level: when this method
         returns, every accepted record is durable.  Returns the number
         of applied records.
+
+        Degraded-mode semantics match :meth:`ingest`: a degraded runtime
+        refuses the whole batch up front with
+        :class:`~repro.runtime.health.DegradedError`.
         """
+        self.monitor.check_writable()
         pending: list[tuple[str, int, int, int]] = []
         pending_clocks: dict[str, int] = {}
         applied = 0
@@ -400,26 +501,38 @@ class IngestRuntime:
         first_ordinal = (
             self.faults.records_seen + 1 if self.faults is not None else 0
         )
-        seqs = self.wal.append_many(
-            [
-                {"stream": stream, "item": item, "count": count, "time": time}
-                for stream, item, count, time in pending
-            ]
-        )
+        try:
+            seqs = self.wal.append_many(
+                [
+                    {"stream": stream, "item": item, "count": count, "time": time}
+                    for stream, item, count, time in pending
+                ]
+            )
+        except OSError as exc:
+            self._degrade_for_wal_error(exc)
         if self.faults is not None:
             self.faults.after_batch_durable(first_ordinal)
-        for name, run_iter in groupby(pending, key=lambda rec: rec[0]):
-            run = list(run_iter)
-            times = np.array([rec[3] for rec in run], dtype=np.int64)
-            items = np.array([rec[1] for rec in run], dtype=np.int64)
-            counts = np.array([rec[2] for rec in run], dtype=np.int64)
-            self.store.update_batch(name, times, items, counts)
-            self._clocks[name] = int(times[-1])
+        try:
+            for name, run_iter in groupby(pending, key=lambda rec: rec[0]):
+                run = list(run_iter)
+                times = np.array([rec[3] for rec in run], dtype=np.int64)
+                items = np.array([rec[1] for rec in run], dtype=np.int64)
+                counts = np.array([rec[2] for rec in run], dtype=np.int64)
+                self.store.update_batch(name, times, items, counts)
+                self._clocks[name] = int(times[-1])
+        except Exception:
+            # The chunk is durable but partially applied: live answers
+            # can no longer be trusted (recovery replays it cleanly).
+            self.monitor.fail(
+                "apply-divergence",
+                f"apply of durable batch through seq {seqs[-1]} raised; "
+                "in-memory state diverged from the WAL — recover from disk",
+            )
+            raise
         self.applied_seq = seqs[-1]
         self.stats.ingested += len(pending)
         self._since_checkpoint += len(pending)
-        if self._since_checkpoint >= self.checkpoint_every:
-            self.checkpoint()
+        self._maybe_checkpoint()
         return len(pending)
 
     def ingest_stream(
@@ -484,13 +597,66 @@ class IngestRuntime:
             self.stats.quarantined += 1
         return False
 
+    def _degrade_for_wal_error(self, exc: OSError) -> NoReturn:
+        """Flip read-only on a failed WAL append and surface the cause.
+
+        The record/batch was *not* acknowledged (the append raised before
+        durability), so rejecting it loses nothing; the periodic re-probe
+        heals the runtime once the disk accepts durable writes again.
+        """
+        import errno as _errno
+
+        cause = (
+            "disk-full"
+            if getattr(exc, "errno", None) == _errno.ENOSPC
+            else "wal-io-error"
+        )
+        self.monitor.degrade(cause, f"WAL append failed: {exc}")
+        raise DegradedError(self.monitor.state, cause, str(exc)) from exc
+
     # ------------------------------------------------------------------ #
     # Checkpointing
     # ------------------------------------------------------------------ #
 
     def checkpoint(self) -> Path:
-        """Snapshot the store and advance the durable recovery point."""
-        return self._checkpoint_inner(bootstrap=False)
+        """Snapshot the store and advance the durable recovery point.
+
+        When snapshot I/O keeps failing past the retry budget the
+        runtime degrades to read-only (cause ``disk-full`` on ENOSPC,
+        ``snapshot-retries-exhausted`` otherwise) and the
+        :class:`~repro.runtime.policies.SnapshotRetryError` propagates.
+        Already-ingested records stay durable in the WAL either way.
+        """
+        import errno as _errno
+
+        try:
+            return self._checkpoint_inner(bootstrap=False)
+        except SnapshotRetryError as exc:
+            root = exc.__cause__
+            cause = (
+                "disk-full"
+                if getattr(root, "errno", None) == _errno.ENOSPC
+                else "snapshot-retries-exhausted"
+            )
+            self.monitor.degrade(cause, str(exc))
+            raise
+
+    def _maybe_checkpoint(self) -> None:
+        """Run a cadence-due checkpoint, absorbing snapshot exhaustion.
+
+        Ingest callers reach here *after* their records are durable in
+        the WAL: a failed checkpoint must not retract the acknowledgment,
+        so the :class:`SnapshotRetryError` is absorbed — the runtime is
+        now degraded read-only and the *next* write surfaces the typed
+        :class:`~repro.runtime.health.DegradedError`.  The WAL keeps the
+        un-snapshotted tail; recovery replays it.
+        """
+        if self._since_checkpoint < self.checkpoint_every:
+            return
+        try:
+            self.checkpoint()
+        except SnapshotRetryError:  # sketchlint: disable=SL016 — absorbed by design: checkpoint() already degraded the runtime, and the acked records stay durable in the WAL
+            pass
 
     def _checkpoint_inner(self, bootstrap: bool) -> Path:
         faults = None if bootstrap else self.faults
@@ -535,6 +701,7 @@ class IngestRuntime:
         self._prune(covered)
         self.stats.checkpoints += 1
         self._since_checkpoint = 0
+        self.monitor.note_checkpoint()
         return target
 
     @staticmethod
@@ -601,9 +768,51 @@ class IngestRuntime:
             raise KeyError(f"unknown stream {stream!r}")
         return clock
 
+    def health(self) -> dict[str, Any]:
+        """Live health snapshot: state machine + durability lag.
+
+        ``wal_lag`` is the number of durable records not yet covered by a
+        checkpoint (what recovery would have to replay right now).
+        """
+        snapshot = self.monitor.snapshot()
+        snapshot["applied_seq"] = self.applied_seq
+        snapshot["wal_lag"] = self._since_checkpoint
+        snapshot["stats"] = self.stats.as_dict()
+        return snapshot
+
+    def fsck(self) -> FsckReport:
+        """Online durability scrub of this runtime's directory.
+
+        Scan-only (never mutates; sealed segments and committed
+        checkpoints are immutable, so scrubbing them while the runtime
+        is live is safe).  Repair runs offline — ``repro fsck --repair``
+        on a closed directory, or automatically inside :meth:`recover`.
+        """
+        return run_fsck(self.directory, repair=False)
+
+    def acknowledge_data_loss(self) -> None:
+        """Accept fsck-reported loss and return a degraded runtime to
+        writable (see the sticky ``wal-quarantined`` cause on
+        :meth:`recover`)."""
+        self.monitor.acknowledge()
+
+    def frozen_view(self, workers: int | None = None) -> Any:
+        """Freeze every stream's point sketch into an immutable query
+        view (:func:`repro.engine.frozen.freeze_store`).
+
+        Serves even while the runtime is degraded read-only — that is
+        the point of degraded mode — but a ``FAILED`` runtime refuses
+        (its in-memory state is suspect).
+        """
+        from repro.engine.frozen import freeze_store
+
+        self.monitor.check_readable()
+        return freeze_store(self.store, workers=workers)
+
     def describe(self) -> dict[str, Any]:
         """Operator-facing summary (used by ``repro recover``)."""
         checkpoints = self._checkpoints(self.directory)
+        quarantine = self.directory / "quarantine"
         return {
             "directory": str(self.directory),
             "streams": {
@@ -616,4 +825,10 @@ class IngestRuntime:
             ],
             "dead_letters": len(self.dead_letters.entries()),
             "stats": self.stats.as_dict(),
+            "health": self.monitor.snapshot(),
+            "quarantine": sorted(
+                path.name for path in quarantine.iterdir()
+            )
+            if quarantine.is_dir()
+            else [],
         }

@@ -1,0 +1,288 @@
+"""Chaos matrix: every injectable fault x every subsystem, end to end.
+
+ISSUE 7's acceptance harness.  Each cell drives one
+:class:`~repro.runtime.faults.FaultPlan` fault through the full stack —
+WAL + checkpoint durability, the fsck scrubber, the health state
+machine, and the self-healing worker pool — and asserts one of exactly
+two outcomes:
+
+* **full recovery**: the surviving runtime answers bit-identically to
+  an uninterrupted serial twin, or
+* **clean degradation**: the runtime is ``DEGRADED_READONLY`` with the
+  right cause, still serves queries (whose answers match the twin at
+  the acknowledged prefix), refuses writes with a typed
+  :class:`DegradedError`, and resumes exactly where it left off once
+  the operator acknowledges.
+
+Never a third outcome — in particular, never a *wrong* answer.
+
+Run with ``-m chaos`` (CI runs the matrix under ``REPRO_CONTRACTS=1``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import fork_available, pool_faults
+from repro.runtime import (
+    DegradedError,
+    FaultPlan,
+    IngestPolicy,
+    IngestRuntime,
+    SimulatedCrash,
+)
+from tests.test_runtime_recovery import (
+    CHECKPOINT_EVERY,
+    assert_identical_answers,
+    make_records,
+    make_store,
+    run_uninterrupted,
+)
+
+pytestmark = pytest.mark.chaos
+
+N_RECORDS = 260  # == len(make_records()); checkpoints land every 50
+
+#: Layout after a clean 260-record run at cadence 50 (verified by
+#: ``test_fsck``): retained checkpoints ckpt-200 + ckpt-250, WAL segment
+#: 1 holds seqs 201..250 (fully covered by the best checkpoint), segment
+#: 2 holds the tail 251..260 that only the WAL knows.
+COVERED_SEGMENT = 1
+TAIL_SEGMENT = 2
+BEST_COVERED_SEQ = 250
+
+
+def build_victim(root, records, **kwargs):
+    runtime = IngestRuntime.create(
+        root / "victim",
+        make_store(),
+        checkpoint_every=CHECKPOINT_EVERY,
+        sleep=lambda _t: None,
+        **kwargs,
+    )
+    for raw in records:
+        runtime.ingest(raw)
+    runtime.close()
+    return root / "victim"
+
+
+def recover(directory, **kwargs):
+    return IngestRuntime.recover(
+        directory, checkpoint_every=CHECKPOINT_EVERY, **kwargs
+    )
+
+
+# --------------------------------------------------------------------- #
+# At-rest damage: fsck-led recovery
+# --------------------------------------------------------------------- #
+
+#: Cells whose damage never touches an acknowledged record that only the
+#: WAL holds: recovery must be silently loss-free and bit-identical.
+LOSS_FREE_AT_REST = {
+    "flip-covered-segment": FaultPlan(
+        flip_byte_in_segment=COVERED_SEGMENT, flip_byte_offset=10
+    ),
+    "truncate-best-checkpoint": FaultPlan(truncate_checkpoint_at_rest=2),
+    "delete-best-checkpoint": FaultPlan(delete_checkpoint_at_rest=2),
+    "delete-pointer": FaultPlan(delete_pointer_at_rest=True),
+    "corrupt-pointer": FaultPlan(corrupt_pointer_at_rest=True),
+}
+
+
+@pytest.mark.parametrize("cell", sorted(LOSS_FREE_AT_REST))
+def test_loss_free_at_rest_damage_recovers_bit_identically(tmp_path, cell):
+    records = make_records()
+    twin = run_uninterrupted(tmp_path, records)
+    directory = build_victim(tmp_path, records)
+    actions = LOSS_FREE_AT_REST[cell].apply_at_rest(directory)
+    assert actions, f"{cell}: the plan must actually damage something"
+
+    recovered = recover(directory)
+    assert recovered.health()["state"] == "healthy"
+    assert recovered.applied_seq == N_RECORDS
+    assert_identical_answers(twin, recovered)
+
+
+def test_torn_tail_at_rest_recovers_bit_identically(tmp_path):
+    records = make_records()
+    twin = run_uninterrupted(tmp_path, records)
+    directory = build_victim(tmp_path, records)
+    segments = sorted((directory / "wal").glob("segment-*.wal"))
+    with open(segments[-1], "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 261, "crc": "torn-mid')  # no newline
+
+    recovered = recover(directory)
+    assert recovered.health()["state"] == "healthy"
+    assert recovered.applied_seq == N_RECORDS, "a torn frame was never acked"
+    assert_identical_answers(twin, recovered)
+
+
+def test_uncovered_corruption_degrades_then_acknowledge_resumes(tmp_path):
+    """The only at-rest cell with real loss: bit-rot in WAL frames the
+    best checkpoint does not cover.  fsck quarantines, recovery comes up
+    degraded read-only at the last trustworthy prefix, queries still
+    answer (and answer *right*), and acknowledging the loss reopens
+    writes exactly at the quarantine point."""
+    records = make_records()
+    prefix_twin = run_uninterrupted(tmp_path, records[:BEST_COVERED_SEQ])
+    directory = build_victim(tmp_path, records)
+    FaultPlan(
+        flip_byte_in_segment=TAIL_SEGMENT, flip_byte_offset=10
+    ).apply_at_rest(directory)
+
+    recovered = recover(directory)
+    health = recovered.health()
+    assert health["state"] == "degraded-readonly"
+    assert health["cause"] == "wal-quarantined"
+    assert not health["recoverable"], "data loss must not self-heal"
+    assert recovered.applied_seq == BEST_COVERED_SEQ
+    assert recovered.fsck_report.data_loss
+
+    # Still serving — and serving the *right* answers for the prefix.
+    assert_identical_answers(prefix_twin, recovered)
+    # But refusing writes with the typed error naming the cause.
+    with pytest.raises(DegradedError, match="wal-quarantined"):
+        recovered.ingest(records[BEST_COVERED_SEQ])
+
+    # Operator accepts the loss; the client re-sends the unacked tail.
+    recovered.acknowledge_data_loss()
+    for raw in records[BEST_COVERED_SEQ:]:
+        assert recovered.ingest(raw) is True
+    assert recovered.health()["state"] == "healthy"
+    full_twin = run_uninterrupted(tmp_path / "full", records)
+    assert_identical_answers(full_twin, recovered)
+
+
+# --------------------------------------------------------------------- #
+# Crash faults: process death at the worst moments
+# --------------------------------------------------------------------- #
+
+CRASH_CELLS = {
+    "crash-before-append": FaultPlan(crash_before_record=130),
+    "torn-live-write": FaultPlan(torn_write_at_record=130),
+    "crash-after-durable": FaultPlan(crash_after_record=130),
+    "crash-mid-checkpoint": FaultPlan(crash_at_checkpoint=3),
+    "truncate-committed-snapshot": FaultPlan(truncate_snapshot_at_checkpoint=3),
+}
+
+
+@pytest.mark.parametrize("cell", sorted(CRASH_CELLS))
+def test_crash_cells_recover_bit_identically(tmp_path, cell):
+    records = make_records()
+    twin = run_uninterrupted(tmp_path, records)
+    victim = IngestRuntime.create(
+        tmp_path / "victim",
+        make_store(),
+        checkpoint_every=CHECKPOINT_EVERY,
+        faults=CRASH_CELLS[cell],
+        sleep=lambda _t: None,
+    )
+    crashed = False
+    for raw in records:
+        try:
+            victim.ingest(raw)
+        except SimulatedCrash:
+            crashed = True
+            break
+    assert crashed, f"{cell}: fault never fired"
+
+    recovered = recover(tmp_path / "victim")
+    assert recovered.health()["state"] == "healthy"
+    for raw in records[recovered.applied_seq :]:
+        assert recovered.ingest(raw) is True
+    assert_identical_answers(twin, recovered)
+
+
+# --------------------------------------------------------------------- #
+# Resource exhaustion: degrade, probe, heal, resume
+# --------------------------------------------------------------------- #
+
+
+def test_enospc_degrades_heals_and_loses_nothing(tmp_path):
+    """Snapshot I/O hits ENOSPC past the retry budget: the runtime flips
+    degraded read-only but keeps every durable record; once the probe
+    sees the disk back, writes resume and the on-disk state recovers to
+    exactly the live answers."""
+    records = make_records()
+    victim = IngestRuntime.create(
+        tmp_path / "victim",
+        make_store(),
+        checkpoint_every=CHECKPOINT_EVERY,
+        faults=FaultPlan(
+            io_error_at_checkpoint=1, io_error_count=2, io_error_enospc=True
+        ),
+        policy=IngestPolicy(max_retries=1),  # both injected errors exhaust it
+        sleep=lambda _t: None,
+        probe=lambda: True,
+    )
+    victim.monitor.probe_interval = 1
+    victim.monitor.heal_after = 2
+    rejections = 0
+    for raw in records:
+        for _attempt in range(10):
+            try:
+                victim.ingest(raw)
+                break
+            except DegradedError as exc:
+                assert exc.cause == "disk-full"
+                rejections += 1
+        else:
+            pytest.fail("degradation never healed through the probe")
+    assert rejections > 0, "the ENOSPC window must actually reject writes"
+    assert victim.health()["state"] == "healthy"
+    assert victim.health()["heals"] == 1
+    assert victim.applied_seq == N_RECORDS
+
+    # Durability equivalence: the recovered incarnation answers exactly
+    # like the live one that weathered the outage.
+    victim.close()
+    recovered = recover(tmp_path / "victim")
+    assert recovered.applied_seq == N_RECORDS
+    assert_identical_answers(victim, recovered)
+
+
+# --------------------------------------------------------------------- #
+# Worker-pool faults: heal in place, never a wrong answer
+# --------------------------------------------------------------------- #
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="needs os.fork")
+
+POOL_CELLS = {
+    "worker-sigkilled": FaultPlan(pool_kill_worker=0, pool_kill_at_batch=2),
+    "worker-hung": FaultPlan(
+        pool_hang_worker=0,
+        pool_hang_at_batch=2,
+        pool_hang_seconds=30.0,
+        pool_reply_deadline_s=0.2,
+    ),
+    "respawn-exhausted-serial-fallback": FaultPlan(
+        pool_kill_worker=0, pool_kill_at_batch=2, pool_fail_respawns=99
+    ),
+}
+
+
+@needs_fork
+@pytest.mark.parametrize("cell", sorted(POOL_CELLS))
+def test_pool_cells_heal_and_stay_bit_identical(tmp_path, cell):
+    records = make_records()
+    twin = run_uninterrupted(tmp_path, records)
+    victim = IngestRuntime.create(
+        tmp_path / "victim",
+        make_store(),
+        checkpoint_every=CHECKPOINT_EVERY,
+        sleep=lambda _t: None,
+        workers=2,
+    )
+    with pool_faults(POOL_CELLS[cell]):
+        for lo in range(0, len(records), 40):
+            victim.ingest_batch(records[lo : lo + 40])
+    victim.store.drain_workers()
+    assert victim.health()["state"] == "healthy", "pool faults heal in place"
+    assert victim.applied_seq == N_RECORDS
+    assert_identical_answers(twin, victim)
+
+    # And the WAL saw every batch: recovery lands on the same answers.
+    victim.close()
+    recovered = recover(tmp_path / "victim")
+    assert recovered.applied_seq == N_RECORDS
+    assert_identical_answers(twin, recovered)

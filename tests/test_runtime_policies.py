@@ -176,6 +176,56 @@ class TestRetry:
         assert recovered.stats.replayed == 1
         assert recovered.clock("urls") == 1
 
+    def test_per_sleep_cap_saturates_exponential_growth(self):
+        sleeps = []
+        policy = IngestPolicy(
+            max_retries=6,
+            backoff_base=0.5,
+            backoff_factor=4.0,
+            backoff_cap=2.0,
+            backoff_total_cap=100.0,
+        )
+
+        def always_fails():
+            raise OSError("dead disk")
+
+        with pytest.raises(SnapshotRetryError):
+            run_with_retry(
+                always_fails, policy, IngestStats(), sleep=sleeps.append
+            )
+        # 0.5, 2.0 (4x growth saturates at the cap), then flat.
+        assert sleeps == [0.5, 2.0, 2.0, 2.0, 2.0, 2.0]
+
+    def test_total_cap_bounds_cumulative_retry_latency(self):
+        """Worst-case retry latency is bounded no matter the budget: once
+        the cumulative cap is spent, remaining retries run back-to-back."""
+        sleeps = []
+        policy = IngestPolicy(
+            max_retries=10,
+            backoff_base=1.0,
+            backoff_factor=1.0,
+            backoff_cap=10.0,
+            backoff_total_cap=2.5,
+        )
+
+        def always_fails():
+            raise OSError("dead disk")
+
+        with pytest.raises(SnapshotRetryError):
+            run_with_retry(
+                always_fails, policy, IngestStats(), sleep=sleeps.append
+            )
+        assert sum(sleeps) == pytest.approx(policy.backoff_total_cap)
+        # 1.0 + 1.0 + the 0.5 remainder, then zero-length sleeps.
+        assert sleeps[:3] == pytest.approx([1.0, 1.0, 0.5])
+        assert sleeps[3:] == pytest.approx([0.0] * len(sleeps[3:]))
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError, match="backoff_cap"):
+            IngestPolicy(backoff_cap=-1.0)
+        with pytest.raises(ValueError, match="backoff_total_cap"):
+            IngestPolicy(backoff_total_cap=-0.1)
+
     def test_run_with_retry_returns_value(self):
         calls = []
 

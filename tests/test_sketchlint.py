@@ -882,6 +882,113 @@ def test_sl015_suppression():
 
 
 # --------------------------------------------------------------------- #
+# SL016 — swallowed durability error (interprocedural)
+# --------------------------------------------------------------------- #
+
+
+def test_sl016_flags_swallowed_oserror_in_durability_scope():
+    source = """
+        def append(path, frame):
+            try:
+                _write(path, frame)
+            except OSError:
+                pass
+    """
+    found = codes(source, path="src/repro/runtime/module.py")
+    assert "SL016" in found
+    assert "SL004" not in found  # OSError is narrow; only SL016 sees it
+
+
+def test_sl016_flags_swallow_one_call_deep(tmp_path):
+    """The swallow lives outside runtime/ but is reached from it."""
+    found = tree_codes(
+        tmp_path,
+        {
+            "src/repro/runtime/flush.py": """
+                from __future__ import annotations
+
+                from repro.util.writer import best_effort_write
+
+                def flush(path, frames):
+                    for frame in frames:
+                        best_effort_write(path, frame)
+            """,
+            "src/repro/util/writer.py": """
+                from __future__ import annotations
+
+                def best_effort_write(path, frame):
+                    try:
+                        frame_bytes = bytes(frame)
+                        path.write_bytes(frame_bytes)
+                    except OSError:
+                        return None
+            """,
+        },
+    )
+    assert "SL016" in found
+
+
+def test_sl016_passes_reraise_degrade_and_retry_idioms():
+    assert "SL016" not in codes(
+        """
+        def append(path, frame):
+            try:
+                _write(path, frame)
+            except OSError as exc:
+                raise DegradedError("wal-io-error", str(exc)) from exc
+        """,
+        path="src/repro/runtime/module.py",
+    )
+    assert "SL016" not in codes(
+        """
+        def checkpoint(self, state):
+            try:
+                _snapshot(state)
+            except OSError as exc:
+                self.monitor.degrade("disk-full", str(exc))
+        """,
+        path="src/repro/runtime/module.py",
+    )
+    assert "SL016" not in codes(
+        """
+        def run_with_retry(action, attempts):
+            last = None
+            for _ in range(attempts):
+                try:
+                    return action()
+                except OSError as exc:
+                    last = exc
+            raise SnapshotRetryError("exhausted") from last
+        """,
+        path="src/repro/runtime/module.py",
+    )
+
+
+def test_sl016_exempts_atomic_module_and_other_packages():
+    source = """
+        def _cleanup(tmp):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    """
+    assert "SL016" not in codes(source, path="src/repro/io/atomic.py")
+    assert "SL016" not in codes(source, path="src/repro/eval/module.py")
+
+
+def test_sl016_suppression():
+    source = (
+        "def append(path, frame):\n"
+        "    try:\n"
+        "        _write(path, frame)\n"
+        "    except OSError:  "
+        "# sketchlint: disable=SL016 — probe write, caller re-checks\n"
+        "        pass\n"
+    )
+    assert "SL016" not in codes(source, path="src/repro/runtime/module.py")
+
+
+# --------------------------------------------------------------------- #
 # Engine behaviour
 # --------------------------------------------------------------------- #
 
@@ -938,7 +1045,13 @@ def test_rule_table_is_complete():
         "SL010",
         "SL011",
     ]
-    assert sorted(PROJECT_RULES) == ["SL012", "SL013", "SL014", "SL015"]
+    assert sorted(PROJECT_RULES) == [
+        "SL012",
+        "SL013",
+        "SL014",
+        "SL015",
+        "SL016",
+    ]
     for cls in (*RULES.values(), *PROJECT_RULES.values()):
         assert cls.summary and cls.rationale
 
