@@ -21,6 +21,11 @@ Three groups of functionality::
     python -m repro.cli ingest ./rt more.jsonl --resume
     python -m repro.cli recover ./rt --export ./rt.store
 
+    # Serve sketches over TCP: JSON-lines protocol, WAL-durable writes,
+    # frozen/live cutover reads (see docs/serving.md).
+    python -m repro.cli serve ./rt --create-stream urls:8:1024 --port 7071
+    python -m repro.cli serve ./rt --resume --port 7071
+
     # Durability scrub: verify every WAL frame and checkpoint, classify
     # damage, optionally quarantine + repair (exit 0 clean, 1 damaged
     # but recoverable, 2 unrecoverable).
@@ -254,6 +259,79 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.runtime import IngestPolicy, IngestRuntime
+    from repro.server import ServingRuntime, SketchServer
+    from repro.store import SketchStore
+
+    policy = IngestPolicy(
+        on_malformed=args.on_malformed, on_late=args.on_late
+    )
+    if args.resume:
+        runtime = IngestRuntime.recover(
+            args.directory,
+            policy=policy,
+            checkpoint_every=args.checkpoint_every,
+        )
+        print(
+            f"resumed at seq {runtime.applied_seq} "
+            f"({runtime.stats.replayed} WAL records replayed)",
+            flush=True,
+        )
+    else:
+        specs = _parse_stream_specs(args.create_stream)
+        if not specs:
+            raise SystemExit(
+                "fresh runtimes need at least one --create-stream "
+                "name:delta[:universe] (or pass --resume)"
+            )
+        store = SketchStore(
+            width=args.width, depth=args.depth, seed=args.seed
+        )
+        for spec in specs:
+            store.create(spec)
+        runtime = IngestRuntime.create(
+            args.directory,
+            store,
+            policy=policy,
+            checkpoint_every=args.checkpoint_every,
+        )
+    serving = ServingRuntime(
+        runtime,
+        freeze_every=args.freeze_every,
+        freeze_interval_s=args.freeze_interval,
+        freeze_workers=args.freeze_workers,
+    )
+    server = SketchServer(
+        serving,
+        host=args.host,
+        port=args.port,
+        cutover_poll_s=args.poll_interval,
+    )
+    server.start()
+    host, port = server.address
+    # Readiness line: supervisors and the CI smoke job wait for this.
+    print(f"repro-serve listening on {host}:{port}", flush=True)
+
+    def _graceful(_signum: int, _frame: object) -> None:
+        server.stop()
+
+    signal.signal(signal.SIGINT, _graceful)
+    signal.signal(signal.SIGTERM, _graceful)
+    server.serve_until_stopped()
+    if server.crashed:
+        print("repro-serve crashed", file=sys.stderr)
+        return 1
+    print(
+        f"repro-serve stopped at seq {runtime.applied_seq} "
+        f"({serving.cutovers} cutovers)",
+        flush=True,
+    )
+    return 0
+
+
 def _cmd_fsck(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -469,6 +547,77 @@ def build_parser() -> argparse.ArgumentParser:
         "read-only)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the sketch-serving daemon: JSON-lines protocol over "
+        "TCP, frozen/live cutover reads, WAL-durable writes (see "
+        "docs/serving.md)",
+    )
+    serve.add_argument("directory", help="runtime directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: bind an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover the runtime directory instead of creating fresh",
+    )
+    serve.add_argument(
+        "--create-stream",
+        action="append",
+        default=[],
+        metavar="NAME:DELTA[:UNIVERSE]",
+        help="declare a stream for a fresh runtime (repeatable; a "
+        "universe enables heavy hitters and quantiles)",
+    )
+    serve.add_argument("--checkpoint-every", type=int, default=1000)
+    serve.add_argument(
+        "--freeze-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-freeze once the newest checkpoint is >= N records past "
+        "the served view (default: every new checkpoint)",
+    )
+    serve.add_argument(
+        "--freeze-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also re-freeze when the served view is older than this",
+    )
+    serve.add_argument(
+        "--freeze-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan frozen-view compilation out over N forked workers",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="cutover ticker period",
+    )
+    serve.add_argument(
+        "--on-malformed",
+        choices=("raise", "skip", "quarantine"),
+        default="quarantine",
+    )
+    serve.add_argument(
+        "--on-late",
+        choices=("raise", "skip", "quarantine"),
+        default="quarantine",
+    )
+    serve.add_argument("--width", type=int, default=2048)
+    serve.add_argument("--depth", type=int, default=5)
+    serve.add_argument("--seed", type=int, default=0)
+
     fsck = sub.add_parser(
         "fsck",
         help="durability scrub: re-verify every WAL frame, checkpoint "
@@ -538,6 +687,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_ingest(args)
     if args.command == "recover":
         return _cmd_recover(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "fsck":
         return _cmd_fsck(args)
     if args.command == "query":

@@ -1204,6 +1204,12 @@ class FrozenStoreView:
         """Window second frequency moment (requires ``joinable=True``)."""
         return self._frozen(self._join, name).self_join_size(s, t)
 
+    def window_mass(
+        self, name: str, s: float = 0, t: float | None = None
+    ) -> float:
+        """Estimate of ``||f_{s,t}||_1`` (requires ``heavy_hitters=True``)."""
+        return self._frozen(self._hh, name).window_mass(s, t)
+
 
 def freeze_store(store, workers: int | None = None) -> FrozenStoreView:
     """Freeze every stream of ``store`` into a :class:`FrozenStoreView`.

@@ -139,6 +139,9 @@ class DeadLetterFile:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Entry count, maintained incrementally after the first (lazy)
+        # scan so status surfaces never pay O(quarantine size) again.
+        self._count: int | None = None
 
     def append(self, kind: str, reason: str, raw: object) -> None:
         """Quarantine one record."""
@@ -158,6 +161,28 @@ class DeadLetterFile:
             handle.flush()
             os.fsync(handle.fileno())
         fsync_directory(self.path.parent)
+        if self._count is not None:
+            self._count += 1
+
+    def count(self) -> int:
+        """Number of quarantined entries, without materializing them.
+
+        The first call scans the file once (counting non-blank lines, so
+        the answer matches ``len(self.entries())`` without any JSON
+        parsing); later calls return a counter maintained by
+        :meth:`append`.  Status surfaces — the runtime's ``describe()``
+        and the serving daemon's health endpoint — call this per
+        request, so it must not scale with the quarantine file.
+        """
+        if self._count is None:
+            if not self.path.exists():
+                self._count = 0
+            else:
+                with open(self.path, "rb") as handle:
+                    self._count = sum(
+                        1 for line in handle if line.strip()
+                    )
+        return self._count
 
     def entries(self) -> list[dict[str, Any]]:
         """All quarantined entries (empty when the file does not exist)."""

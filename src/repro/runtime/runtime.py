@@ -124,6 +124,8 @@ class IngestRuntime:
             name: store._state(name).point_sketch.now for name in store.streams()
         }
         self._since_checkpoint = 0
+        # (applied_seq, workers, view) of the last frozen_view() build.
+        self._frozen_cache: tuple[int, int | None, Any] | None = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -803,11 +805,27 @@ class IngestRuntime:
         Serves even while the runtime is degraded read-only — that is
         the point of degraded mode — but a ``FAILED`` runtime refuses
         (its in-memory state is suspect).
+
+        The view is memoized on ``applied_seq``: a repeat call with no
+        intervening ingest returns the *same* object in O(1) instead of
+        recompiling the whole store, so a periodic cutover tick (or a
+        degraded runtime polled by its health endpoint) costs nothing
+        while the store is quiet.  Any applied record invalidates the
+        cache; so does asking for a different ``workers`` width.
         """
         from repro.engine.frozen import freeze_store
 
         self.monitor.check_readable()
-        return freeze_store(self.store, workers=workers)
+        cached = self._frozen_cache
+        if (
+            cached is not None
+            and cached[0] == self.applied_seq
+            and cached[1] == workers
+        ):
+            return cached[2]
+        view = freeze_store(self.store, workers=workers)
+        self._frozen_cache = (self.applied_seq, workers, view)
+        return view
 
     def describe(self) -> dict[str, Any]:
         """Operator-facing summary (used by ``repro recover``)."""
@@ -823,7 +841,7 @@ class IngestRuntime:
             "wal_segments": [
                 path.name for _seq, path in self.wal.segments()
             ],
-            "dead_letters": len(self.dead_letters.entries()),
+            "dead_letters": self.dead_letters.count(),
             "stats": self.stats.as_dict(),
             "health": self.monitor.snapshot(),
             "quarantine": sorted(

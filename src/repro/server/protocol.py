@@ -1,0 +1,120 @@
+"""Wire protocol of the sketch-serving daemon.
+
+One request or response per line, UTF-8 JSON, newline-terminated — the
+classic JSON-lines framing.  Requests carry a caller-chosen ``id`` that
+is echoed verbatim in the response, so a client may pipeline several
+requests over one connection and match replies by id::
+
+    -> {"id": 7, "verb": "point", "stream": "urls", "item": 3, "t": 40}
+    <- {"id": 7, "ok": true, "result": 12.0}
+    <- {"id": 8, "ok": false, "error": {"type": "unknown-stream", ...}}
+
+Failures are typed so the client can re-raise the same exception class
+the embedded API would have raised:
+
+=================  ====================================================
+``type``           client-side exception
+=================  ====================================================
+degraded           :class:`repro.runtime.health.DegradedError`
+malformed-record   :class:`repro.runtime.policies.MalformedRecordError`
+late-record        :class:`repro.runtime.policies.LateRecordError`
+unknown-stream     :class:`KeyError`
+bad-request        :class:`BadRequestError`
+value-error        :class:`ValueError`
+internal           :class:`ServerError`
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, NoReturn
+
+from repro.runtime.health import DegradedError, HealthState
+from repro.runtime.policies import LateRecordError, MalformedRecordError
+
+# Refuse absurd frames before handing them to json.loads.  Generous
+# enough for a ~100k-record ingest_batch, small enough to bound memory
+# per connection.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ConnectionError):
+    """The peer sent bytes that are not a valid protocol frame."""
+
+
+class BadRequestError(ValueError):
+    """The request was well-formed JSON but not a valid request."""
+
+
+class ServerError(RuntimeError):
+    """The server failed internally while handling a request."""
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """Serialize one frame, newline-terminated."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> dict[str, Any]:
+    """Parse one frame; raise :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"invalid protocol frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def error_payload(exc: BaseException) -> dict[str, Any]:
+    """Map an exception to the wire-error object (server side).
+
+    Subclass checks run most-specific first: the record errors and
+    :class:`BadRequestError` are all ``ValueError`` subclasses.
+    """
+    if isinstance(exc, DegradedError):
+        return {
+            "type": "degraded",
+            "state": exc.state.value,
+            "cause": exc.cause,
+            "message": exc.detail,
+        }
+    if isinstance(exc, MalformedRecordError):
+        return {"type": "malformed-record", "message": str(exc)}
+    if isinstance(exc, LateRecordError):
+        return {"type": "late-record", "message": str(exc)}
+    if isinstance(exc, BadRequestError):
+        return {"type": "bad-request", "message": str(exc)}
+    if isinstance(exc, KeyError):
+        # KeyError's str() wraps the key in repr quotes; unwrap args.
+        message = str(exc.args[0]) if exc.args else str(exc)
+        return {"type": "unknown-stream", "message": message}
+    if isinstance(exc, (ValueError, TypeError)):
+        return {"type": "value-error", "message": str(exc)}
+    return {"type": "internal", "message": f"{type(exc).__name__}: {exc}"}
+
+
+def raise_for_error(error: dict[str, Any]) -> NoReturn:
+    """Re-raise the typed exception for a wire-error object (client side)."""
+    kind = error.get("type", "internal")
+    message = str(error.get("message") or "")
+    if kind == "degraded":
+        try:
+            state = HealthState(error.get("state"))
+        except ValueError:
+            state = HealthState.DEGRADED_READONLY
+        raise DegradedError(state, str(error.get("cause") or "unknown"), message)
+    if kind == "malformed-record":
+        raise MalformedRecordError(message)
+    if kind == "late-record":
+        raise LateRecordError(message)
+    if kind == "unknown-stream":
+        raise KeyError(message)
+    if kind == "bad-request":
+        raise BadRequestError(message)
+    if kind == "value-error":
+        raise ValueError(message)
+    raise ServerError(message)

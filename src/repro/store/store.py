@@ -269,6 +269,19 @@ class SketchStore:
             )
         return state.hh_sketch.top_k(k, s, t)
 
+    def window_mass(
+        self, name: str, s: float = 0, t: float | None = None
+    ) -> float:
+        """Estimate of ``||f_{s,t}||_1`` for stream ``name`` (requires
+        the spec to enable heavy hitters, whose hierarchy tracks the
+        total mass)."""
+        state = self._state(name)
+        if state.hh_sketch is None:
+            raise ValueError(
+                f"stream {name!r} was not created with heavy_hitters=True"
+            )
+        return state.hh_sketch.window_mass(s, t)
+
     def quantile(
         self, name: str, phi: float, s: float = 0, t: float | None = None
     ) -> int:

@@ -261,6 +261,109 @@ POOL_CELLS = {
 }
 
 
+# --------------------------------------------------------------------- #
+# Serving daemon: crash/restart under concurrent client load
+# --------------------------------------------------------------------- #
+
+
+def test_server_crash_under_load_restarts_bit_identically(tmp_path):
+    """ISSUE 8's serving cell: kill the daemon mid-ingest while reader
+    clients hammer it, restart over the recovered runtime, re-send the
+    unacknowledged tail through the server, and the served answers must
+    be bit-identical to an uninterrupted twin.
+
+    One deterministic writer keeps the WAL/checkpoint interleaving
+    reproducible; the three concurrent readers add the load (and must
+    see only correct answers or dead connections — never wrong ones).
+    """
+    import threading
+
+    from repro.server import Client, ServingRuntime, SketchServer
+
+    records = make_records()
+    twin = run_uninterrupted(tmp_path, records)
+
+    victim = IngestRuntime.create(
+        tmp_path / "victim",
+        make_store(),
+        checkpoint_every=CHECKPOINT_EVERY,
+        faults=FaultPlan(crash_after_record=130),
+        sleep=lambda _t: None,
+    )
+    server = SketchServer(
+        ServingRuntime(victim), cutover_poll_s=0.05
+    ).start()
+    host, port = server.address
+
+    stop = threading.Event()
+    reader_errors: list[BaseException] = []
+
+    def reader(item):
+        try:
+            with Client(host, port, timeout=5.0) as c:
+                while not stop.is_set():
+                    c.point("urls", item)
+                    c.health()
+        except (ConnectionError, OSError):
+            pass  # the daemon died under us — expected in this cell
+        except BaseException as exc:  # noqa: B036  # sketchlint: disable=SL004 — collected and re-asserted on the main thread
+            reader_errors.append(exc)
+
+    readers = [
+        threading.Thread(target=reader, args=(item,)) for item in range(3)
+    ]
+    for thread in readers:
+        thread.start()
+
+    acked = 0
+    crashed = False
+    with Client(host, port, timeout=5.0) as writer:
+        for raw in records:
+            try:
+                assert writer.ingest_record(raw) is True
+                acked += 1
+            except ConnectionError:
+                crashed = True
+                break
+    stop.set()
+    for thread in readers:
+        thread.join(timeout=30)
+    assert crashed, "the scripted crash never fired"
+    assert server.crashed is True
+    assert not reader_errors, reader_errors
+    assert acked == 129  # record 130 was durable but never acknowledged
+
+    # Restart over the recovered directory, exactly as `repro serve
+    # --resume` would, and finish the workload through the server.
+    recovered = recover(tmp_path / "victim")
+    restarted = SketchServer(
+        ServingRuntime(recovered), cutover_poll_s=0.05
+    ).start()
+    try:
+        host2, port2 = restarted.address
+        with Client(host2, port2, timeout=5.0) as c:
+            applied = c.describe()["applied_seq"]
+            assert applied >= acked
+            for raw in records[applied:]:
+                assert c.ingest_record(raw) is True
+            assert c.describe()["applied_seq"] == N_RECORDS
+            assert c.health()["state"] == "healthy"
+            # Served answers match the twin on both routing sides.
+            assert c.cutover()["view_seq"] is not None
+            t = twin.clock("urls")
+            for item in range(0, 64, 7):
+                want = twin.store.point("urls", item, 0, t)
+                assert c.point("urls", item, 0, t, mode="live") == want
+            fc = restarted.serving.view().clock("urls")
+            for item in range(0, 64, 7):
+                want = twin.store.point("urls", item, 0, fc)
+                assert c.point("urls", item, 0, fc, mode="frozen") == want
+    finally:
+        restarted.stop()
+    # The full embedded-API equivalence sweep, sketch family by family.
+    assert_identical_answers(twin, recovered)
+
+
 @needs_fork
 @pytest.mark.parametrize("cell", sorted(POOL_CELLS))
 def test_pool_cells_heal_and_stay_bit_identical(tmp_path, cell):

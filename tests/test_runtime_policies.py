@@ -1,5 +1,7 @@
 """Tests for ingest policies: malformed/late handling, dead letters, retry."""
 
+import json
+
 import pytest
 
 from repro.runtime import (
@@ -252,3 +254,60 @@ class TestDeadLetterFile:
 
     def test_missing_file_is_empty(self, tmp_path):
         assert DeadLetterFile(tmp_path / "nope.jsonl").entries() == []
+
+    def test_count_matches_entries(self, tmp_path):
+        letters = DeadLetterFile(tmp_path / "dead.jsonl")
+        assert letters.count() == 0
+        for i in range(7):
+            letters.append("malformed", f"reason {i}", {"item": i})
+        assert letters.count() == 7 == len(letters.entries())
+
+    def test_count_lazy_scan_then_incremental(self, tmp_path):
+        """A pre-existing file is scanned once; appends just bump the
+        counter (no re-read)."""
+        path = tmp_path / "dead.jsonl"
+        first = DeadLetterFile(path)
+        for i in range(5):
+            first.append("late", "clock", {"item": i})
+        reopened = DeadLetterFile(path)
+        assert reopened.count() == 5
+        reopened.append("late", "clock", {"item": 99})
+        assert reopened.count() == 6
+
+    def test_count_does_not_materialize_entries(self, tmp_path, monkeypatch):
+        """Regression: describe() used to call entries() just to count.
+
+        With a large quarantine file that walk dominated every status
+        probe; count() must never parse or materialize the entries.
+        """
+        letters = DeadLetterFile(tmp_path / "dead.jsonl")
+        blob = {"padding": "x" * 512}
+        for i in range(2000):
+            entry = json.dumps(
+                {"kind": "malformed", "reason": str(i), "record": blob},
+                separators=(",", ":"),
+            )
+            # Bypass append()'s per-line fsync; we only need the bytes.
+            with open(letters.path, "a", encoding="utf-8") as handle:
+                handle.write(entry + "\n")
+        monkeypatch.setattr(
+            DeadLetterFile,
+            "entries",
+            lambda self: pytest.fail("count() materialized entries()"),
+        )
+        assert letters.count() == 2000
+
+
+class TestDescribeDeadLetters:
+    def test_describe_counts_without_entries(self, tmp_path, monkeypatch):
+        runtime = make_runtime(
+            tmp_path, policy=IngestPolicy(on_malformed="quarantine")
+        )
+        for i in range(3):
+            assert runtime.ingest({"stream": "urls", "item": f"bad{i}"}) is False
+        monkeypatch.setattr(
+            DeadLetterFile,
+            "entries",
+            lambda self: pytest.fail("describe() materialized entries()"),
+        )
+        assert runtime.describe()["dead_letters"] == 3
