@@ -19,20 +19,21 @@ on all three workloads:
   different question.
 
 Results are written to ``BENCH_query.json`` at the repo root (schema
-``bench_query_serving/v2``, documented in EXPERIMENTS.md; v2 adds
-``cpus``/``workers`` and the per-workload ``parallel`` block to v1).
-Scale with ``REPRO_BENCH_SCALE``.
+``bench_query_serving/v3``, documented in EXPERIMENTS.md; v2 added
+``cpus``/``workers`` and the per-workload ``parallel`` block to v1; v3
+adds the ``cpu_affinity`` header and replaces the parallel ratios with
+an explicit ``{"skipped": "cpus < 4"}`` block on hosts too small to
+measure them honestly).  Scale with ``REPRO_BENCH_SCALE``.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
 import numpy as np
-from conftest import run_once
+from conftest import cpu_header, parallel_skip_block, run_once
 
 from repro.engine import freeze
 from repro.eval import harness
@@ -68,7 +69,7 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[idx]
 
 
-def _bench_workload(name: str) -> dict:
+def _bench_workload(name: str, skip_parallel: dict | None) -> dict:
     length = harness.scaled(200_000)
     n_queries = max(200, int(2000 * harness.bench_scale()))
     sketch = harness.build_paper_shape_cm(
@@ -135,8 +136,8 @@ def _bench_workload(name: str) -> dict:
         start = time.perf_counter()
         serial_par_answers = frozen.point_many(par_items, par_windows)
         serial_par_total = min(serial_par_total, time.perf_counter() - start)
-    parallel = {}
-    for workers in WORKER_WIDTHS:
+    parallel: dict = dict(skip_parallel) if skip_parallel else {}
+    for workers in () if skip_parallel else WORKER_WIDTHS:
         par_freeze_start = time.perf_counter()
         par_frozen = freeze(sketch, workers=workers)
         par_freeze_s = time.perf_counter() - par_freeze_start
@@ -202,11 +203,14 @@ def _bench_workload(name: str) -> dict:
 
 
 def run_benchmark() -> dict:
+    header = cpu_header()
+    skip_parallel = parallel_skip_block()
     results = {}
     rows = []
     for name in DATASETS:
-        stats = _bench_workload(name)
+        stats = _bench_workload(name, skip_parallel)
         results[name] = stats
+        par = stats["parallel"]
         rows.append(
             (
                 name,
@@ -217,13 +221,15 @@ def run_benchmark() -> dict:
                 round(stats["frozen"]["point_p99_us"], 1),
                 round(stats["frozen"]["point_many_qps"], 0),
                 round(stats["speedup_point_many"], 1),
-                round(stats["parallel"]["4"]["point_many_qps"], 0),
+                round(par["4"]["point_many_qps"], 0)
+                if "4" in par
+                else "skipped",
             )
         )
     payload = {
-        "schema": "bench_query_serving/v2",
+        "schema": "bench_query_serving/v3",
         "scale": harness.bench_scale(),
-        "cpus": os.cpu_count(),
+        **header,
         "workers": list(WORKER_WIDTHS),
         "shape": {"width": WIDTH, "depth": DEPTH, "delta": DELTA},
         "workloads": results,
@@ -231,7 +237,7 @@ def run_benchmark() -> dict:
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     report(
         f"Query serving: frozen vs live (w={WIDTH}, d={DEPTH}, "
-        f"delta={DELTA}, cpus={os.cpu_count()})",
+        f"delta={DELTA}, cpus={header['cpus']})",
         [
             "dataset",
             "queries",
@@ -266,8 +272,13 @@ def test_query_serving(benchmark):
             f"{stats['speedup_point_many']:.1f}x faster than live "
             f"(floor {floor}x)"
         )
-        for workers in WORKER_WIDTHS:
-            assert stats["parallel"][str(workers)]["equal"]
+        parallel = stats["parallel"]
+        if "skipped" in parallel:
+            # Small host: the skip block must be explicit, not ratios.
+            assert parallel["skipped"] == "cpus < 4", parallel
+        else:
+            for workers in WORKER_WIDTHS:
+                assert parallel[str(workers)]["equal"]
     # The scalar fast path gate: a one-off frozen point query must not
     # cost more than a live one (it used to pay the full batch setup —
     # 181us vs 13us p50 on Zipf_3 before the fast path).

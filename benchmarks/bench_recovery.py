@@ -24,7 +24,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from conftest import run_once
+from conftest import cpu_header, run_once
 
 from repro.eval import harness
 from repro.runtime import IngestRuntime, run_fsck
@@ -114,6 +114,7 @@ def run_benchmark() -> dict:
     payload = {
         "schema": "bench_recovery/v1",
         "scale": harness.bench_scale(),
+        **cpu_header(),
         "sizes": sizes,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

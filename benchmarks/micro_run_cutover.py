@@ -28,7 +28,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from conftest import run_once
+from conftest import cpu_header, run_once
 
 from repro.core import columnar
 from repro.eval import harness
@@ -164,6 +164,7 @@ def run_benchmark() -> dict:
     payload = {
         "schema": "micro_run_cutover/v1",
         "scale": harness.bench_scale(),
+        **cpu_header(),
         "updates": n,
         "delta": DELTA,
         "committed_cutover": columnar.SHORT_RUN_CUTOVER,

@@ -1,4 +1,4 @@
-"""Interprocedural sketchlint rules (SL012–SL016).
+"""Interprocedural sketchlint rules (SL012–SL017).
 
 These rules run on a :class:`~repro.analysis.callgraph.Project` — symbol
 table, call graph and dataflow summaries — so they see through the
@@ -24,8 +24,15 @@ helper wrappers that defeat the per-module rules:
   (degrade / quarantine / fail), nor stores the exception for a later
   raise — the I/O failure silently disappears and the runtime keeps
   acknowledging writes it may not be able to replay.
+* **SL017** unpaired memory mapping: a ``SharedMemory`` / ``mmap``
+  construction (or a project subclass of either) whose handle is not
+  guaranteed a ``close()`` / ``unlink()`` / ``release()`` on every
+  path — ``finally`` blocks and ``with`` statements satisfy it, a
+  straight-line close that an exception can skip does not, and
+  handles stored on ``self`` or handed to a resolvable helper are
+  checked for cleanup where they end up.
 
-All five under-approximate: an unresolvable call contributes no edge,
+All six under-approximate: an unresolvable call contributes no edge,
 so every finding rests on an actual resolved path, which is quoted in
 the message (``entry -> wrapper -> sink``).
 """
@@ -671,3 +678,262 @@ class SwallowedDurabilityErrorRule(ProjectRule):
                     handlers.append(child)
                 stack.append(child)
         return handlers
+
+
+#: Call names that construct an OS-backed memory mapping.  Project
+#: classes deriving from one (e.g. ``repro.shm._Mapping``) are folded
+#: in per run via their base names.
+_MAPPING_FACTORIES = {"SharedMemory", "mmap"}
+
+#: Methods that detach or destroy a mapping; any one of them counts as
+#: cleanup for SL017 (``release`` is the ShmSegment close+unlink verb).
+_MAPPING_CLEANUP = {"close", "unlink", "release"}
+
+
+def _finally_and_handler_nodes(
+    scope: ast.AST,
+) -> tuple[set[int], set[int]]:
+    """Identity sets of every node inside a finalbody / except handler."""
+    in_finally: set[int] = set()
+    in_handler: set[int] = set()
+    for part in ast.walk(scope):
+        if not isinstance(part, ast.Try):
+            continue
+        for stmt in part.finalbody:
+            in_finally.update(id(sub) for sub in ast.walk(stmt))
+        for handler in part.handlers:
+            in_handler.update(id(sub) for sub in ast.walk(handler))
+    return in_finally, in_handler
+
+
+def _mentions_name(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(part, ast.Name) and part.id == name
+        for part in ast.walk(node)
+    )
+
+
+def _hands_off_handle(value: ast.expr, name: str) -> bool:
+    """Whether returning/yielding ``value`` transfers the handle itself.
+
+    ``return segment`` (or a tuple/list containing the bare name) hands
+    ownership to the caller; ``return segment.name`` returns derived
+    data and the handle still needs local cleanup.
+    """
+    if isinstance(value, ast.Name) and value.id == name:
+        return True
+    if isinstance(value, (ast.Tuple, ast.List)):
+        return any(
+            isinstance(elt, ast.Name) and elt.id == name
+            for elt in value.elts
+        )
+    return False
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    """``self.<attr>`` -> attr; anything else -> None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+@register_project
+class UnpairedMappingRule(ProjectRule):
+    """SL017: mapping created without a guaranteed close/unlink.
+
+    A ``SharedMemory`` segment or ``mmap`` leaks a file descriptor —
+    and, for an owner, a ``/dev/shm`` entry — on any path that skips
+    its ``close()`` / ``unlink()``.  The rule finds every construction
+    of a mapping (including project subclasses such as
+    ``repro.shm._Mapping``) and demands cleanup on *all* paths:
+
+    * a ``with`` statement over the handle, or cleanup inside a
+      ``finally`` block, always satisfies it;
+    * a straight-line ``close()`` alone does not — an exception
+      between construction and close leaks the mapping — unless an
+      except handler also cleans up the error path;
+    * a handle stored on ``self`` is satisfied by cleanup of that
+      attribute in any method of the same class (the handle-object
+      idiom: ``__init__`` binds, ``close()`` releases);
+    * a handle passed to another function is checked
+      interprocedurally: the resolved callee's call tree must contain
+      a cleanup verb (unresolvable callees contribute no claim).
+
+    Deliberate leak-until-exit schemes opt out with a justified
+    per-line suppression at the construction site.
+    """
+
+    code = "SL017"
+    summary = "memory mapping lacks a guaranteed close()/unlink() path"
+    rationale = (
+        "A SharedMemory or mmap handle that misses cleanup on an "
+        "exception path leaks fds per call and, owner-side, orphans "
+        "/dev/shm entries that survive the process; lifecycle must be "
+        "finally/with-guaranteed, not straight-line."
+    )
+
+    def check_project(self, project: Project) -> None:
+        factories = set(_MAPPING_FACTORIES)
+        for cls in project.symbols.classes.values():
+            if _MAPPING_FACTORIES & set(cls.bases):
+                factories.add(cls.name)
+        for fn in list(project.symbols.functions.values()):
+            creations = [
+                call
+                for call in _calls_in_scope(fn)
+                if _call_name(call) in factories
+            ]
+            if not creations:
+                continue
+            parent_of: dict[int, ast.AST] = {}
+            for parent in ast.walk(fn.node):
+                for child in ast.iter_child_nodes(parent):
+                    parent_of[id(child)] = parent
+            for call in creations:
+                problem = self._site_problem(project, fn, call, parent_of)
+                if problem is not None:
+                    self.report(
+                        fn.path,
+                        call,
+                        f"{_call_name(call)}(...) in {fn.qualname} "
+                        f"{problem}; guarantee close()/unlink() with "
+                        "try/finally or a with block",
+                    )
+
+    def _site_problem(
+        self,
+        project: Project,
+        fn: FunctionInfo,
+        call: ast.Call,
+        parent_of: dict[int, ast.AST],
+    ) -> str | None:
+        """Why this construction site leaks, or None when it is safe."""
+        parent = parent_of.get(id(call))
+        if isinstance(parent, ast.withitem) and parent.context_expr is call:
+            return None  # context manager guarantees __exit__
+        if isinstance(parent, ast.Call) and call is not parent.func:
+            return self._delegation_problem(project, fn, parent)
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return None  # ownership transfers to the caller
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = parent.targets[0]
+            if isinstance(target, ast.Name):
+                return self._binding_problem(project, fn, target.id)
+            attr = _self_attr(target)
+            if attr is not None:
+                return self._attribute_problem(project, fn, attr)
+            return None  # container/subscript stores park ownership elsewhere
+        if isinstance(parent, ast.Expr):
+            return "is discarded immediately and never closed"
+        return None  # other expression contexts: no claim
+
+    @staticmethod
+    def _delegation_problem(
+        project: Project, fn: FunctionInfo, consumer: ast.Call
+    ) -> str | None:
+        """A freshly built mapping handed straight to another call."""
+        targets = project.resolve_callable(fn, consumer.func)
+        if not targets:
+            return None  # unresolvable: no edge, no claim
+        reachable = project.reachable(
+            [target.qualname for target in targets]
+        )
+        for qualname in reachable:
+            for site in project.graph.sites.get(qualname, []):
+                if site.name in _MAPPING_CLEANUP:
+                    return None
+        route = _arrow([fn.qualname, targets[0].qualname])
+        return (
+            f"is handed to {targets[0].qualname} whose call tree never "
+            f"closes or unlinks it ({route})"
+        )
+
+    def _binding_problem(
+        self, project: Project, fn: FunctionInfo, name: str
+    ) -> str | None:
+        """A mapping bound to a local: demand all-paths cleanup."""
+        scope = fn.node
+        in_finally, in_handler = _finally_and_handler_nodes(scope)
+        guaranteed = on_error = plain = False
+        for other in _calls_in_scope(fn):
+            func = other.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MAPPING_CLEANUP
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                continue
+            if id(other) in in_finally:
+                guaranteed = True
+            elif id(other) in in_handler:
+                on_error = True
+            else:
+                plain = True
+        if guaranteed or (on_error and plain):
+            return None
+        for part in ast.walk(scope):
+            if isinstance(part, ast.withitem) and _mentions_name(
+                part.context_expr, name
+            ):
+                return None  # with <handle> / with closing(<handle>)
+            if isinstance(part, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = getattr(part, "value", None)
+                if value is not None and _hands_off_handle(value, name):
+                    return None  # the handle itself escapes to the caller
+            if isinstance(part, ast.Assign) and _mentions_name(
+                part.value, name
+            ):
+                for target in part.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        return self._attribute_problem(project, fn, attr)
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        return None  # parked in longer-lived storage
+        for other in _calls_in_scope(fn):
+            consumed = any(
+                _mentions_name(arg, name)
+                for arg in (
+                    *other.args,
+                    *(kw.value for kw in other.keywords),
+                )
+            )
+            if consumed and not (
+                isinstance(other.func, ast.Attribute)
+                and isinstance(other.func.value, ast.Name)
+                and other.func.value.id == name
+            ):
+                return self._delegation_problem(project, fn, other)
+        if plain:
+            return (
+                f"closes {name!r} only on the straight-line path — an "
+                "exception before the close leaks the mapping"
+            )
+        return f"binds {name!r} but no path ever closes or unlinks it"
+
+    @staticmethod
+    def _attribute_problem(
+        project: Project, fn: FunctionInfo, attr: str
+    ) -> str | None:
+        """A mapping stored on ``self``: some method must clean it up."""
+        if fn.cls is None:
+            return None  # "self" outside a class: no instance to inspect
+        for other in project.symbols.functions.values():
+            if other.cls != fn.cls:
+                continue
+            for call in _calls_in_scope(other):
+                func = call.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MAPPING_CLEANUP
+                    and _self_attr(func.value) == attr
+                ):
+                    return None
+        return (
+            f"is stored on self.{attr} but no method of {fn.cls} ever "
+            "closes or unlinks that attribute"
+        )

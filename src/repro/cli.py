@@ -303,6 +303,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         freeze_every=args.freeze_every,
         freeze_interval_s=args.freeze_interval,
         freeze_workers=args.freeze_workers,
+        query_workers=args.query_workers,
     )
     server = SketchServer(
         serving,
@@ -596,6 +597,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="fan frozen-view compilation out over N forked workers",
+    )
+    serve.add_argument(
+        "--query-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve frozen reads from N forked processes attached to "
+        "one shared-memory copy of the view (0: in-process serving; "
+        "needs fork + POSIX shared memory)",
     )
     serve.add_argument(
         "--poll-interval",

@@ -29,8 +29,10 @@ from repro.engine.frozen import (
     FrozenPWCAMS,
     FrozenShardedSketch,
     FrozenStoreView,
+    attach_view,
     freeze,
     freeze_store,
+    share_view,
 )
 
 __all__ = [
@@ -44,4 +46,6 @@ __all__ = [
     "FrozenHeavyHitters",
     "FrozenShardedSketch",
     "FrozenStoreView",
+    "share_view",
+    "attach_view",
 ]

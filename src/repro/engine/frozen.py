@@ -50,6 +50,7 @@ from repro.core.heavy_hitters import PersistentHeavyHitters
 from repro.core.persistent_ams import PersistentAMS
 from repro.core.persistent_countmin import PersistentCountMin
 from repro.core.pwc_ams import PWCAMS
+from repro import shm
 from repro.engine.batch import _batch_signs, batch_hash_columns
 from repro.parallel.pool import fork_available, parallel_map
 from repro.store.sharded import ShardedPersistentSketch
@@ -884,7 +885,7 @@ class FrozenHeavyHitters:
         self.levels = structure.levels
         self.now = structure.now
         self.name = f"frozen({structure.name})"
-        self._sketches = parallel_map(
+        self._sketches = parallel_map(  # sketchlint: disable=SL013 — _SHM_PROBE is a memoized capability constant; a child-side re-probe is idempotent and child-local
             FrozenCountMin, structure._sketches, self.workers
         )
         # point/point_many delegate to the leaf level; give it this
@@ -988,7 +989,7 @@ class FrozenShardedSketch:
             finalize = getattr(shard, "finalize", None)
             if finalize is not None:
                 finalize()
-        frozen = parallel_map(
+        frozen = parallel_map(  # sketchlint: disable=SL013 — _SHM_PROBE is a memoized capability constant; a child-side re-probe is idempotent and child-local
             lambda pair: freeze(pair[1]), ordered, self.workers
         )
         self._shards = {
@@ -1221,3 +1222,42 @@ def freeze_store(store, workers: int | None = None) -> FrozenStoreView:
     """
     store.drain_workers(strict=False)
     return FrozenStoreView(store, workers=workers)
+
+
+# --------------------------------------------------------------------- #
+# Zero-copy sharing: construct-into / attach-from a mapped segment
+# --------------------------------------------------------------------- #
+
+
+def share_view(view: FrozenStoreView, **kwargs) -> "shm.ShmSegment":
+    """Publish a frozen view into a shared-memory segment.
+
+    Every columnar table's arrays — including the derived rank keys and
+    float edges, which are ``__slots__`` and therefore pickled — land
+    out-of-band in the segment, so :func:`attach_view` rebuilds the view
+    with **zero recompute and zero copy**: N attached processes query
+    one physical copy of the tables.  The caller owns the returned
+    segment and must eventually ``release()`` it; readers already
+    attached stay valid past the unlink.  Keyword arguments pass through
+    to :func:`repro.shm.write_object` (e.g. ``prefix``).
+    """
+    return shm.write_object(view, **kwargs)
+
+
+def attach_view(name: str) -> "tuple[FrozenStoreView, shm.ShmSegment]":
+    """Attach to a shared frozen view by segment name.
+
+    Returns ``(view, segment)``: the view's arrays are read-only views
+    over the mapping, so the segment must stay open for the view's
+    lifetime — close it (never unlink; the publisher owns that) when
+    the view is dropped.  Raises :class:`repro.shm.ShmError` when the
+    name is gone, i.e. the publisher has moved past this generation.
+    """
+    view, segment = shm.read_attached(name)
+    if not isinstance(view, FrozenStoreView):
+        segment.close()
+        raise shm.ShmError(
+            f"segment {name!r} holds {type(view).__name__}, not a "
+            "FrozenStoreView"
+        )
+    return view, segment

@@ -1,0 +1,278 @@
+"""Query worker pool: forked readers attached to shared frozen views.
+
+PR 8's daemon answered every frozen query on the accept thread's
+process, so N connections shared one GIL and one copy of the frozen
+tables.  This pool is the scale-out half of the shared-memory rework:
+``--query-workers N`` forks N **stateless reader** processes that
+attach to the serving view's published segment
+(:func:`repro.engine.frozen.attach_view`) instead of materializing a
+copy — one physical copy of the columnar tables serves every worker,
+so RSS does not scale with worker count and each query runs on its own
+core.
+
+Workers cache their attachment per view *generation*: a query carries
+``(generation, segment_name, verb, args)``, and a worker seeing a new
+generation attaches the new segment and drops the old one (deferred
+when still pinned by in-flight views).  Cutover therefore never blocks
+on readers — POSIX keeps an unlinked segment valid until the last
+attacher detaches.
+
+Failure model (deliberately simpler than the ingest pool's): workers
+hold **no unique state**, so supervision is respawn-and-fallback — a
+dead, hung, or stale worker raises :class:`QueryWorkerError`, the
+supervisor respawns the slot, and the caller (``ServingRuntime``)
+answers that one query from its local frozen view instead.  Workers
+only ever *attach* segments (the publisher owns every unlink), so a
+kill -9'd worker cannot leak a ``/dev/shm`` entry — the chaos matrix
+pins this by listing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+import traceback
+from multiprocessing.connection import Connection
+from typing import Any
+
+from repro import shm
+from repro.engine.frozen import attach_view
+from repro.parallel import fork_available
+
+#: Per-query reply deadline: frozen queries are milliseconds, so a
+#: worker silent for this long is treated as dead and respawned.
+_REPLY_DEADLINE_S = 30.0
+
+_JOIN_TIMEOUT_S = 5.0
+
+
+class QueryWorkerError(RuntimeError):
+    """A query worker could not answer; the caller should serve locally."""
+
+
+def _query_worker_main(conn: Connection) -> None:
+    """Command loop of one forked query worker.
+
+    Holds at most one live attachment: ``(generation, segment,
+    view)``.  Superseded attachments are closed as soon as their views
+    are dropped; a mapping still pinned by an in-flight answer is
+    parked and retried between queries (its name is already unlinked
+    publisher-side, so nothing is leaked either way).
+    """
+    generation: int | None = None
+    segment: shm.ShmSegment | None = None
+    view: Any = None
+    parked: list[shm.ShmSegment] = []
+    while True:
+        parked[:] = [old for old in parked if not old.close()]
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # master went away
+            break
+        if message[0] == "exit":
+            break
+        _kind, gen, name, verb, args = message
+        try:
+            if gen != generation:
+                view, new_segment = attach_view(name)
+                if segment is not None and not segment.close():
+                    parked.append(segment)
+                generation, segment = gen, new_segment
+            result = getattr(view, verb)(*args)
+        except shm.ShmError:
+            # The publisher moved past this generation and unlinked the
+            # segment before we attached; the master serves locally.
+            reply = ("stale", name)
+        except BaseException:  # sketchlint: disable=SL004 — forwarded to master as an ("err", traceback) reply
+            reply = ("err", traceback.format_exc())
+        else:
+            reply = ("ok", result)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # master went away
+            break
+    conn.close()
+
+
+class _Slot:
+    """One worker process plus the lock serializing its pipe."""
+
+    __slots__ = ("proc", "conn", "lock")
+
+    def __init__(self, proc: Any, conn: Connection | None) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.lock = threading.Lock()
+
+
+class QueryWorkerPool:
+    """``nworkers`` forked reader processes over shared frozen views.
+
+    Thread-safe: the serving daemon's connection threads call
+    :meth:`query` concurrently; queries round-robin across workers and
+    serialize per worker pipe.  The pool is *hot* across cutovers —
+    workers re-attach per generation, they are never restarted for one.
+    """
+
+    def __init__(
+        self,
+        nworkers: int,
+        *,
+        reply_deadline_s: float = _REPLY_DEADLINE_S,
+    ) -> None:
+        if nworkers < 1:
+            raise ValueError(f"need >= 1 query worker, got {nworkers}")
+        if not fork_available():
+            raise QueryWorkerError(
+                "query workers need the fork start method"
+            )
+        if not shm.shm_available():  # also pre-starts the resource tracker
+            raise QueryWorkerError(
+                "query workers need POSIX shared memory"
+            )
+        self.nworkers = nworkers
+        self._reply_deadline_s = reply_deadline_s
+        self._ctx = multiprocessing.get_context("fork")
+        self._slots: list[_Slot] = []
+        self._rr = itertools.count()
+        self._closed = False
+        #: Supervision counter (surfaced via serving health).
+        self.respawns = 0
+        for _ in range(nworkers):
+            self._slots.append(self._spawn())
+
+    def _spawn(self) -> _Slot:
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_query_worker_main, args=(child,), daemon=True
+        )
+        proc.start()
+        child.close()
+        return _Slot(proc, parent)
+
+    @property
+    def pids(self) -> list[int]:
+        """Worker process ids (0 for a slot awaiting respawn)."""
+        return [
+            slot.proc.pid or 0 if slot.proc is not None else 0
+            for slot in self._slots
+        ]
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def _discard(self, slot: _Slot) -> None:
+        """Kill and reap one slot's process (caller holds ``slot.lock``)."""
+        if slot.proc is not None:
+            if slot.proc.is_alive():
+                slot.proc.kill()
+            slot.proc.join(timeout=_JOIN_TIMEOUT_S)
+        if slot.conn is not None:
+            try:
+                slot.conn.close()
+            except Exception:  # sketchlint: disable=SL004 — best-effort fd cleanup
+                pass
+        slot.proc = None
+        slot.conn = None
+
+    def _respawn(self, slot: _Slot) -> None:
+        """Supervisor path: replace a dead worker (caller holds the lock).
+
+        Workers attach, never own, so there is no shm state to recover
+        — a fresh fork re-attaches on its first query.
+        """
+        self._discard(slot)
+        self.respawns += 1
+        fresh = self._spawn()
+        slot.proc = fresh.proc
+        slot.conn = fresh.conn
+
+    def query(
+        self, generation: int, segment_name: str, verb: str, args: tuple
+    ) -> Any:
+        """Run one frozen query on an attached worker.
+
+        Raises :class:`QueryWorkerError` when the worker is dead, hung,
+        stale, or errored — after respawning it — so the caller can
+        fall back to its local view; a query is never silently dropped.
+        """
+        if self._closed:
+            raise QueryWorkerError("query worker pool is closed")
+        slot = self._slots[next(self._rr) % self.nworkers]
+        with slot.lock:
+            conn = slot.conn
+            if conn is None:
+                self._respawn(slot)
+                conn = slot.conn
+            try:
+                conn.send(("query", generation, segment_name, verb, args))
+                if not conn.poll(self._reply_deadline_s):
+                    raise QueryWorkerError(
+                        f"query worker silent for {self._reply_deadline_s}s"
+                    )
+                status, value = conn.recv()
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                self._respawn(slot)
+                raise QueryWorkerError(
+                    f"query worker died mid-query: {type(exc).__name__}"
+                ) from exc
+            except QueryWorkerError:
+                self._respawn(slot)
+                raise
+        if status == "ok":
+            return value
+        if status == "stale":
+            raise QueryWorkerError(
+                f"worker could not attach superseded segment {value!r}"
+            )
+        raise QueryWorkerError(f"query worker raised:\n{value}")
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            with slot.lock:
+                if slot.conn is not None:
+                    try:
+                        slot.conn.send(("exit",))
+                    except Exception:  # sketchlint: disable=SL004 — worker already dead; the discard below reaps it
+                        pass
+                self._discard(slot)
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:  # sketchlint: disable=SL004 — finalizers must never raise
+            pass
+
+    def __enter__(self) -> "QueryWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def health(self) -> dict[str, Any]:
+        """Status block merged into serving health."""
+        return {
+            "workers": self.nworkers,
+            "pids": self.pids,
+            "respawns": self.respawns,
+        }
+
+    def wait_ready(self, timeout_s: float = 5.0) -> bool:
+        """Best-effort wait until every worker process is alive."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if all(
+                slot.proc is not None and slot.proc.is_alive()
+                for slot in self._slots
+            ):
+                return True
+            time.sleep(0.01)
+        return False

@@ -1,0 +1,449 @@
+"""Shared-memory substrate: codec, lifecycle, pool transport, leaks.
+
+Three layers under test.  First the :mod:`repro.shm` primitive itself —
+header validation, zero-copy reconstruction, owner/attacher lifecycle,
+POSIX valid-until-last-detach semantics, and the ``/dev/shm`` leak
+audit.  Second the :class:`~repro.parallel.WorkerPool` shm transport:
+feeds and collects over segments must be bit-identical to the in-band
+pipe protocol, and every segment must be gone once the batch (or the
+pool) is done — including when workers are SIGKILL'd mid-stream.  Third
+the cross-process sweep that extends PR 7's self-healing to the shm
+lifecycle: a dead worker's segments are reaped by name, and the inline
+serial fallback releases them before replaying.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+
+import numpy as np
+import pytest
+
+from repro import shm
+from repro.parallel import WorkerPool, fork_available, pool_faults
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="POSIX shared memory unavailable"
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="worker pools require os.fork"
+)
+
+
+def assert_no_leaks():
+    __tracebackinfo__ = "every repro-shm segment must be unlinked"
+    assert shm.leaked_segments() == []
+
+
+# --------------------------------------------------------------------- #
+# Codec: write_object / read_object
+# --------------------------------------------------------------------- #
+
+
+def test_round_trip_zero_copy_views():
+    obj = {
+        "counts": np.arange(1000, dtype=np.uint64),
+        "slopes": np.linspace(0.0, 1.0, 7),
+        "nested": [np.ones((3, 5), dtype=np.float32), "label", 42, None],
+    }
+    with shm.write_object(obj) as segment:
+        got, attached = shm.read_attached(segment.name)
+        assert np.array_equal(got["counts"], obj["counts"])
+        assert np.array_equal(got["slopes"], obj["slopes"])
+        assert np.array_equal(got["nested"][0], obj["nested"][0])
+        assert got["nested"][1:] == ["label", 42, None]
+        # Zero-copy: the arrays are views over the mapping, read-only.
+        assert not got["counts"].flags.writeable
+        with pytest.raises(ValueError):
+            got["counts"][0] = 1
+        # Views pin the mapping; close succeeds once they are dropped.
+        assert attached.close() is False
+        del got
+        assert attached.close() is True
+    assert_no_leaks()
+
+
+def test_non_contiguous_arrays_fall_back_in_band():
+    cube = np.arange(60).reshape(3, 4, 5)
+    with shm.write_object({"slice": cube[:, 2, :]}) as segment:
+        got = shm.read_object(segment)
+        assert np.array_equal(got["slice"], cube[:, 2, :])
+    assert_no_leaks()
+
+
+def test_plain_objects_need_no_buffers():
+    with shm.write_object({"a": [1, 2, 3], "b": "text"}) as segment:
+        assert shm.read_object(segment) == {"a": [1, 2, 3], "b": "text"}
+    assert_no_leaks()
+
+
+def test_header_rejects_garbage_and_wrong_version():
+    with shm.ShmSegment.create(256) as segment:
+        segment.buf[:4] = b"NOPE"
+        with pytest.raises(shm.ShmError, match="bad magic"):
+            shm.read_object(segment)
+        good = pickle.dumps(None, protocol=5)
+        segment.buf[: shm._HEADER.size] = shm._HEADER.pack(
+            shm._MAGIC, 99, 0, len(good), 0
+        )
+        with pytest.raises(shm.ShmError, match="version"):
+            shm.read_object(segment)
+    assert_no_leaks()
+
+
+# --------------------------------------------------------------------- #
+# Lifecycle: ownership, adoption, POSIX detach semantics
+# --------------------------------------------------------------------- #
+
+
+def test_attacher_cannot_unlink_owner_can():
+    segment = shm.write_object([1, 2, 3])
+    attached = shm.ShmSegment.attach(segment.name)
+    with pytest.raises(shm.ShmError, match="attached, not owned"):
+        attached.unlink()
+    attached.close()
+    assert segment.name in shm.owned_segment_names()
+    segment.release()
+    assert segment.name not in shm.owned_segment_names()
+    with pytest.raises(shm.ShmError, match="does not exist"):
+        shm.ShmSegment.attach(segment.name)
+    assert_no_leaks()
+
+
+def test_unlinked_segment_stays_valid_until_last_detach():
+    segment = shm.write_object({"v": np.arange(64)})
+    got, attached = shm.read_attached(segment.name)
+    segment.release()  # name gone from /dev/shm...
+    assert_no_leaks()
+    assert np.array_equal(got["v"], np.arange(64))  # ...mapping still valid
+    del got
+    assert attached.close() is True
+
+
+def test_adopt_transfers_unlink_authority():
+    segment = shm.write_object("handoff")
+    attached = shm.ShmSegment.attach(segment.name)
+    attached.adopt()
+    attached.unlink()  # adopted: unlink now allowed
+    attached.close()
+    segment.release()  # original owner's unlink is a no-op, not an error
+    assert_no_leaks()
+
+
+def test_reap_segment_and_pid_sweep():
+    segment = shm.write_object(np.arange(10))
+    name = segment.name
+    assert shm.reap_segment(name) is True
+    assert shm.reap_segment(name) is False  # already gone
+    segment.close()
+
+    a = shm.write_object("one")
+    b = shm.write_object("two")
+    reaped = shm.reap_pid_segments(os.getpid())
+    assert sorted(reaped) == sorted([a.name, b.name])
+    a.close()
+    b.close()
+    assert_no_leaks()
+
+
+def test_create_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        shm.ShmSegment.create(0)
+
+
+# --------------------------------------------------------------------- #
+# Pool transport: bit-equality and leak-freedom
+# --------------------------------------------------------------------- #
+
+
+class _SumHandler:
+    """Minimal pool handler: partition-local running sums."""
+
+    def __init__(self, index, nworkers):
+        self.index = index
+        self.nworkers = nworkers
+        self.total = np.zeros(4, dtype=np.float64)
+        self.batches = 0
+
+    def feed(self, payload):
+        values = payload["values"]
+        self.total += values[self.index :: self.nworkers].sum(axis=0)
+        self.batches += 1
+
+    def collect(self):
+        return {"total": self.total.copy(), "batches": self.batches}
+
+
+def _drive(pool, batches):
+    for values in batches:
+        pool.feed([{"values": values}] * pool.nworkers)
+    return pool.collect()
+
+
+def _random_batches(seed: int, n: int = 4) -> list[np.ndarray]:
+    # Pre-drawn on the master before any fork: the workers only ever
+    # see finished arrays, never generator state.
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(50, 4)) for _ in range(n)]
+
+
+@needs_fork
+@pytest.mark.parametrize("width", (2, 3))
+def test_pool_shm_transport_matches_in_band(width):
+    batches = _random_batches(7)
+    results = {}
+    for label, use_shm in (("shm", True), ("pipe", False)):
+        pool = WorkerPool(width, _SumHandler, use_shm=use_shm)
+        assert pool.use_shm is use_shm
+        try:
+            results[label] = _drive(pool, batches)
+        finally:
+            pool.close()
+    for got, want in zip(results["shm"], results["pipe"]):
+        assert got["batches"] == want["batches"]
+        np.testing.assert_array_equal(got["total"], want["total"])
+    assert_no_leaks()
+
+
+@needs_fork
+def test_pool_feed_segments_released_immediately():
+    pool = WorkerPool(2, _SumHandler, use_shm=True)
+    try:
+        pool.feed([{"values": np.ones((8, 4))}] * 2)
+        # The batch is acked, so its segments are already unlinked even
+        # though collect() has not run yet.
+        assert_no_leaks()
+        pool.collect()
+    finally:
+        pool.close()
+    assert_no_leaks()
+
+
+@needs_fork
+def test_pool_broadcast_payload_shares_one_segment():
+    pool = WorkerPool(3, _SumHandler, use_shm=True)
+    try:
+        payload = {"values": np.ones((9, 4))}
+        segments = pool._publish_payloads([payload] * 3)
+        assert segments is not None
+        assert len({segment.name for segment in segments}) == 1
+        pool._release_segments(segments)
+    finally:
+        pool.close()
+    assert_no_leaks()
+
+
+@needs_fork
+def test_pool_heals_sigkilled_worker_without_leaking():
+    pool = WorkerPool(2, _SumHandler, use_shm=True, reply_deadline_s=30.0)
+    try:
+        batches = [np.full((20, 4), float(i)) for i in range(3)]
+        pool.feed([{"values": batches[0]}] * 2)
+        os.kill(pool.pids[0], signal.SIGKILL)
+        pool.feed([{"values": batches[1]}] * 2)  # heals: respawn + replay
+        pool.feed([{"values": batches[2]}] * 2)
+        healed = pool.collect()
+        assert pool.respawns >= 1
+    finally:
+        pool.close()
+    assert_no_leaks()
+
+    serial = _SumHandler(0, 1)
+    for values in batches:
+        serial.feed({"values": values})
+    merged = healed[0]["total"] + healed[1]["total"]
+    np.testing.assert_allclose(merged, serial.total)
+
+
+class _FaultPlanStub:
+    """Duck-typed pool fault plan: always fail respawns."""
+
+    pool_reply_deadline_s = 5.0
+
+    def pool_feed_actions(self):
+        return []
+
+    def pool_respawn_should_fail(self):
+        return True
+
+
+@needs_fork
+def test_inline_fallback_releases_dead_worker_segments():
+    pool = WorkerPool(2, _SumHandler, use_shm=True, max_respawns=1)
+    try:
+        pool.feed([{"values": np.ones((5, 4))}] * 2)
+        victim = pool.pids[1]
+        with pool_faults(_FaultPlanStub()):
+            os.kill(victim, signal.SIGKILL)
+            pool.feed([{"values": np.ones((5, 4))}] * 2)
+        assert pool.inline_workers == [1]
+        assert pool.serial_fallbacks == 1
+        # Satellite contract: nothing owned by the dead worker survives
+        # the degrade to inline, and the feed segments are gone too.
+        assert shm.leaked_segments(f"{shm.NAME_PREFIX}-{victim}-") == []
+        assert_no_leaks()
+        states = pool.collect()
+        assert states[0]["batches"] == states[1]["batches"] == 2
+    finally:
+        pool.close()
+    assert_no_leaks()
+
+
+@needs_fork
+def test_pool_close_sweeps_everything():
+    pool = WorkerPool(2, _SumHandler, use_shm=True)
+    pool.feed([{"values": np.ones((5, 4))}] * 2)
+    pool.collect()
+    pool.feed([{"values": np.ones((5, 4))}] * 2)
+    pool.close(terminate=True)
+    assert_no_leaks()
+
+
+# --------------------------------------------------------------------- #
+# Shared frozen views: publish, attach, recover-into, serve
+# --------------------------------------------------------------------- #
+
+#: Query spread used by every bit-equality check below: every 7th item
+#: of the recovery suite's universe, over full-history and interior
+#: windows.
+_PROBE_STEP = 7
+
+
+def _frozen_probe(view, stream, t):
+    """One deterministic answer vector across every frozen verb.
+
+    The heavy-hitter-backed verbs (heavy_hitters, window_mass) only
+    probe "urls" — the recovery suite's "ads" stream is created without
+    that sketch and raises the usual typed error.
+    """
+    items = list(range(0, 64, _PROBE_STEP))
+    windows = [(0.0, float(t)), (float(t) // 3, 2 * float(t) // 3)]
+    answers = [view.point(stream, item, s, e)
+               for item in items for s, e in windows]
+    many = view.point_many(stream, items, [(0.0, float(t))] * len(items))
+    answers.append([float(x) for x in many])
+    if stream == "urls":
+        answers.append(sorted(view.heavy_hitters(stream, 0.05, 0, t).items()))
+        answers.append(view.window_mass(stream, 0, t))
+    answers.append(view.self_join_size(stream, 0, t))
+    return answers
+
+
+def test_shared_frozen_view_attach_is_bit_equal(tmp_path):
+    from repro.engine.frozen import attach_view
+    from repro.runtime import IngestRuntime
+    from tests.test_runtime_recovery import make_records, make_store
+
+    runtime = IngestRuntime.create(
+        tmp_path / "rt", make_store(), checkpoint_every=50
+    )
+    try:
+        for raw in make_records():
+            runtime.ingest(raw)
+        view, segment = runtime.shared_frozen_view()
+        # Memoized while applied_seq is unchanged: a cutover tick that
+        # finds no new records must not republish.
+        again_view, again_segment = runtime.shared_frozen_view()
+        assert again_view is view and again_segment.name == segment.name
+
+        twin, attached = attach_view(segment.name)
+        try:
+            for stream in ("urls", "ads"):
+                t = view.clock(stream)
+                assert twin.clock(stream) == t
+                assert _frozen_probe(twin, stream, t) == _frozen_probe(
+                    view, stream, t
+                )
+        finally:
+            attached.close()
+    finally:
+        runtime.close()
+    assert_no_leaks()
+
+
+def test_recover_publish_shared_and_checkpoint_fast_path(tmp_path):
+    from repro.engine.frozen import attach_view
+    from repro.runtime import IngestRuntime
+    from tests.test_runtime_recovery import make_records, make_store
+
+    first = IngestRuntime.create(
+        tmp_path / "rt", make_store(), checkpoint_every=50
+    )
+    for raw in make_records():
+        first.ingest(raw)
+    applied = first.applied_seq
+    first.close()
+    assert_no_leaks()  # a closed runtime releases its published segment
+
+    # recover(publish_shared=True): the replayed state is already in a
+    # segment when recover() returns, and it is the memoized one.
+    recovered = IngestRuntime.recover(
+        tmp_path / "rt", checkpoint_every=50, publish_shared=True
+    )
+    try:
+        view, segment = recovered.shared_frozen_view()
+        twin, attached = tuple(attach_view(segment.name))
+        try:
+            t = view.clock("urls")
+            assert _frozen_probe(twin, "urls", t) == _frozen_probe(
+                view, "urls", t
+            )
+        finally:
+            attached.close()
+
+        # Checkpoint fast path: a read-only process publishes the newest
+        # checkpoint without recovering a runtime.  Its answers must be
+        # bit-equal to the recovered view at the checkpoint's coverage.
+        covered_seq, ckpt_view, ckpt_segment = (
+            IngestRuntime.open_checkpoint_shared(tmp_path / "rt")
+        )
+        try:
+            assert 0 < covered_seq <= applied
+            reader, reader_segment = attach_view(ckpt_segment.name)
+            try:
+                for stream in ("urls", "ads"):
+                    t = ckpt_view.clock(stream)
+                    assert _frozen_probe(reader, stream, t) == _frozen_probe(
+                        ckpt_view, stream, t
+                    )
+            finally:
+                reader_segment.close()
+        finally:
+            ckpt_segment.release()
+    finally:
+        recovered.close()
+    assert_no_leaks()
+
+
+@needs_fork
+def test_serving_query_workers_bit_equal_to_inline(tmp_path):
+    from repro.runtime import IngestRuntime
+    from repro.server import ServingRuntime
+    from tests.test_runtime_recovery import make_records, make_store
+
+    records = make_records()
+    servings = {}
+    try:
+        for label, query_workers in (("inline", 0), ("pooled", 2)):
+            runtime = IngestRuntime.create(
+                tmp_path / label, make_store(), checkpoint_every=50
+            )
+            serving = ServingRuntime(runtime, query_workers=query_workers)
+            servings[label] = serving
+            serving.ingest_batch(records)
+            assert serving.maybe_cutover(force=True)["swapped"]
+        pool = servings["pooled"].query_pool()
+        assert pool is not None and len(pool.pids) == 2
+        assert servings["inline"].query_pool() is None
+
+        for stream in ("urls", "ads"):
+            t = servings["inline"].view().clock(stream)
+            want = _frozen_probe(servings["inline"], stream, t)
+            assert _frozen_probe(servings["pooled"], stream, t) == want
+    finally:
+        for serving in servings.values():
+            serving.close()
+    assert_no_leaks()

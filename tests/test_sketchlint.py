@@ -989,6 +989,149 @@ def test_sl016_suppression():
 
 
 # --------------------------------------------------------------------- #
+# SL017 — unpaired memory mapping (interprocedural)
+# --------------------------------------------------------------------- #
+
+
+def test_sl017_flags_never_closed_mapping():
+    source = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def publish(payload):
+            segment = SharedMemory(create=True, size=len(payload))
+            segment.buf[:] = payload
+            return segment.name
+    """
+    assert "SL017" in codes(source)
+
+
+def test_sl017_flags_straight_line_close():
+    """A close an exception can skip is not lifecycle management."""
+    source = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def probe():
+            segment = SharedMemory(create=True, size=16)
+            segment.buf[0] = 1
+            segment.close()
+            segment.unlink()
+    """
+    assert "SL017" in codes(source)
+
+
+def test_sl017_flags_project_subclass_of_shared_memory():
+    source = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        class Quiet(SharedMemory):
+            def __del__(self):
+                pass
+
+        def leak():
+            segment = Quiet(create=True, size=16)
+            return segment.buf[0]
+    """
+    assert "SL017" in codes(source)
+
+
+def test_sl017_passes_finally_with_and_error_path_pairs():
+    assert "SL017" not in codes(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def probe():
+            segment = SharedMemory(create=True, size=16)
+            try:
+                segment.buf[0] = 1
+            finally:
+                segment.close()
+                segment.unlink()
+        """
+    )
+    assert "SL017" not in codes(
+        """
+        import mmap
+
+        def scan(fileno, length):
+            with mmap.mmap(fileno, length) as view:
+                return view[:8]
+        """
+    )
+    assert "SL017" not in codes(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def publish(payload):
+            segment = SharedMemory(create=True, size=len(payload))
+            try:
+                segment.buf[: len(payload)] = payload
+            except Exception:
+                segment.close()
+                segment.unlink()
+                raise
+            segment.close()
+            return segment.name
+        """
+    )
+
+
+def test_sl017_attribute_store_needs_class_cleanup():
+    flagged = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        class Holder:
+            def __init__(self, size):
+                self._shm = SharedMemory(create=True, size=size)
+    """
+    assert "SL017" in codes(flagged)
+    clean = flagged + """
+            def close(self):
+                self._shm.close()
+    """
+    assert "SL017" not in codes(clean)
+
+
+def test_sl017_delegation_checks_resolved_callee():
+    flagged = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def _fill(segment, payload):
+            segment.buf[: len(payload)] = payload
+
+        def publish(payload):
+            segment = SharedMemory(create=True, size=len(payload))
+            _fill(segment, payload)
+    """
+    assert "SL017" in codes(flagged)
+    clean = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def _consume(segment, payload):
+            try:
+                segment.buf[: len(payload)] = payload
+            finally:
+                segment.close()
+
+        def publish(payload):
+            segment = SharedMemory(create=True, size=len(payload))
+            _consume(segment, payload)
+    """
+    assert "SL017" not in codes(clean)
+
+
+def test_sl017_suppression():
+    source = (
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "\n"
+        "def pin():\n"
+        "    segment = SharedMemory(create=True, size=16)  "
+        "# sketchlint: disable=SL017 — deliberately pinned until exit\n"
+        "    return segment.buf[0]\n"
+    )
+    assert "SL017" not in codes(source)
+
+
+# --------------------------------------------------------------------- #
 # Engine behaviour
 # --------------------------------------------------------------------- #
 
@@ -1051,6 +1194,7 @@ def test_rule_table_is_complete():
         "SL014",
         "SL015",
         "SL016",
+        "SL017",
     ]
     for cls in (*RULES.values(), *PROJECT_RULES.values()):
         assert cls.summary and cls.rationale
