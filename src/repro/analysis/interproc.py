@@ -1,4 +1,4 @@
-"""Interprocedural sketchlint rules (SL012–SL017).
+"""Interprocedural sketchlint rules (SL012–SL018).
 
 These rules run on a :class:`~repro.analysis.callgraph.Project` — symbol
 table, call graph and dataflow summaries — so they see through the
@@ -31,8 +31,16 @@ helper wrappers that defeat the per-module rules:
   straight-line close that an exception can skip does not, and
   handles stored on ``self`` or handed to a resolvable helper are
   checked for cleanup where they end up.
+* **SL018** buffer-tier bypass: a call that feeds a sketch's
+  below-buffer apply layer (``_ingest`` / ``_ingest_batch`` /
+  ``_apply_batch``) from outside the dispatch module that owns the
+  update buffer — staged records would be reordered around it — and,
+  dually, a public sketch query/freeze method whose resolved call tree
+  reads per-counter history (``value_at`` / ``export_arrays``) with no
+  buffer-flushing verb anywhere on the path, which would serve answers
+  that lag the absorbed stream.
 
-All six under-approximate: an unresolvable call contributes no edge,
+All seven under-approximate: an unresolvable call contributes no edge,
 so every finding rests on an actual resolved path, which is quoted in
 the message (``entry -> wrapper -> sink``).
 """
@@ -937,3 +945,158 @@ class UnpairedMappingRule(ProjectRule):
             f"is stored on self.{attr} but no method of {fn.cls} ever "
             "closes or unlinks that attribute"
         )
+
+
+#: Below-buffer apply verbs: the serial-or-pool dispatch layer the
+#: update buffer stages in front of.  Calling one directly slips a
+#: record stream underneath whatever the buffer still holds.
+_BUFFER_BYPASS_VERBS = {
+    "_ingest",
+    "_ingest_batch",
+    "_ingest_batch_via_pool",
+    "_apply_batch",
+}
+
+#: The module that owns the buffer tier: absorption, flush and the
+#: below-buffer dispatch all live here, so its internal calls are the
+#: sanctioned mechanism rather than a bypass.
+_BUFFER_DISPATCH_MODULES = {"repro.core.base"}
+
+#: Call names whose execution flushes the buffer tier before state is
+#: read: the flush itself, the sync funnel every query passes through,
+#: and the drain/finalize verbs that call into it.
+_FLUSH_VERBS = {
+    "flush_buffer",
+    "flush_buffers",
+    "_ensure_synced",
+    "detach_workers",
+    "drain_workers",
+    "finalize",
+}
+
+#: Call names that read per-counter history state.
+_TRACKER_READS = {"value_at", "export_arrays"}
+
+#: Root class of the buffered sketch hierarchy.
+_SKETCH_ROOTS = {"PersistentSketch"}
+
+
+def _sketch_classes(project: Project) -> set[str]:
+    """Qualnames of every class in the ``PersistentSketch`` hierarchy."""
+    symbols = project.symbols
+    roots = [
+        cls.qualname
+        for cls in symbols.classes.values()
+        if cls.name in _SKETCH_ROOTS
+    ]
+    members = set(roots)
+    stack = list(roots)
+    while stack:
+        qualname = stack.pop()
+        for sub in symbols.subclasses.get(qualname, []):
+            if sub not in members:
+                members.add(sub)
+                stack.append(sub)
+    return members
+
+
+@register_project
+class BufferBypassRule(ProjectRule):
+    """SL018: the two-stage update buffer is skipped or left unflushed.
+
+    The buffer tier (:mod:`repro.core.buffer`) is correct only while
+    two whole-program properties hold, and both are invisible to
+    per-module rules:
+
+    * every update enters through the absorbing entry points
+      (``update`` / ``ingest_batch``), never through the below-buffer
+      apply verbs — a direct ``_ingest_batch`` call lands its records
+      *underneath* whatever the buffer still stages, reordering the
+      stream the flush later replays;
+    * every public query/freeze path that reads per-counter history
+      passes a flushing verb first — otherwise buffered-but-unflushed
+      updates are silently missing from the answer, breaking the
+      exact-mode bit-equality contract.
+
+    The first check flags any call to a below-buffer verb outside the
+    owning dispatch module (``repro.core.base``).  The second walks the
+    resolved call tree of every public method of every
+    ``PersistentSketch`` subclass and flags trees that contain a
+    history read (``value_at`` / ``export_arrays``) but no flush verb;
+    an unresolvable delegation contributes neither, so every finding
+    rests on an actually-visible unflushed read, quoted as a call path.
+    """
+
+    code = "SL018"
+    summary = "update-buffer tier bypassed or read without a flush"
+    rationale = (
+        "Exact-mode buffering is bit-identical only when every update "
+        "is absorbed through the buffer and every history read is "
+        "preceded by a flush; a bypassed feed reorders the stream and "
+        "an unflushed read serves answers that lag it."
+    )
+
+    def check_project(self, project: Project) -> None:
+        self._check_bypass_feeds(project)
+        self._check_unflushed_reads(project)
+
+    def _check_bypass_feeds(self, project: Project) -> None:
+        for fn in list(project.symbols.functions.values()):
+            if fn.module in _BUFFER_DISPATCH_MODULES:
+                continue
+            for call in _calls_in_scope(fn):
+                name = _call_name(call)
+                if name not in _BUFFER_BYPASS_VERBS:
+                    continue
+                self.report(
+                    fn.path,
+                    call,
+                    f"{fn.qualname} calls the below-buffer apply verb "
+                    f"{name}() directly, bypassing the update-buffer "
+                    "tier; feed through update()/ingest_batch() so "
+                    "staged records cannot be reordered around it",
+                )
+
+    def _check_unflushed_reads(self, project: Project) -> None:
+        sketch_classes = _sketch_classes(project)
+        if not sketch_classes:
+            return
+        for qualname, fn in project.symbols.functions.items():
+            if (
+                fn.cls not in sketch_classes
+                or fn.name.startswith("_")
+                or fn.parent is not None
+                or isinstance(fn.node, ast.Lambda)
+                or _is_stub_body(fn.node)
+            ):
+                continue
+            reached = project.reachable([qualname])
+            flushed = any(
+                site.name in _FLUSH_VERBS
+                for node in reached
+                for site in project.graph.sites.get(node, [])
+            )
+            if flushed:
+                continue
+            culprit = self._history_reader(project, reached)
+            if culprit is None:
+                continue
+            route = _arrow(Project.path_to(reached, culprit))
+            self.report(
+                fn.path,
+                fn.node,
+                f"{fn.qualname}() reads per-counter history in {culprit} "
+                f"({route}) with no buffer flush on the path; call "
+                "_ensure_synced()/flush_buffer() before reading, or the "
+                "answer lags buffered updates",
+            )
+
+    @staticmethod
+    def _history_reader(
+        project: Project, reached: dict[str, str | None]
+    ) -> str | None:
+        for qualname in reached:
+            for site in project.graph.sites.get(qualname, []):
+                if site.name in _TRACKER_READS:
+                    return qualname
+        return None

@@ -187,6 +187,8 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             policy=policy,
             checkpoint_every=args.checkpoint_every,
             workers=args.workers,
+            buffer_window=args.buffer_window,
+            buffer_mode=args.buffer_mode,
         )
         print(
             f"resumed at seq {runtime.applied_seq} "
@@ -210,6 +212,8 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             policy=policy,
             checkpoint_every=args.checkpoint_every,
             workers=args.workers,
+            buffer_window=args.buffer_window,
+            buffer_mode=args.buffer_mode,
         )
     if args.batch_size is not None:
         from repro.streams.records import read_jsonl_batches
@@ -274,6 +278,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.directory,
             policy=policy,
             checkpoint_every=args.checkpoint_every,
+            buffer_window=args.buffer_window,
+            buffer_mode=args.buffer_mode,
         )
         print(
             f"resumed at seq {runtime.applied_seq} "
@@ -297,6 +303,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             store,
             policy=policy,
             checkpoint_every=args.checkpoint_every,
+            buffer_window=args.buffer_window,
+            buffer_mode=args.buffer_mode,
         )
     serving = ServingRuntime(
         runtime,
@@ -530,6 +538,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool width for parallel batch plans (with "
         "--batch-size; output is bit-identical to serial)",
     )
+    ingest.add_argument(
+        "--buffer-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the two-stage update buffer: stage N records "
+        "in front of the trackers before each bulk flush (records "
+        "are WAL-durable before staging; exact mode is bit-identical)",
+    )
+    ingest.add_argument(
+        "--buffer-mode",
+        choices=("exact", "coalesce"),
+        default="exact",
+        help="with --buffer-window: 'exact' replays the staged tail "
+        "verbatim; 'coalesce' merges same-item touches per window "
+        "(faster on high-cardinality streams, widens mid-window "
+        "history error by the absorbed window mass — see docs/api.md)",
+    )
 
     recover = sub.add_parser(
         "recover",
@@ -627,6 +653,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--width", type=int, default=2048)
     serve.add_argument("--depth", type=int, default=5)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--buffer-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the two-stage update buffer on the write path "
+        "(checkpoint saves flush it, so cutover views stay complete)",
+    )
+    serve.add_argument(
+        "--buffer-mode",
+        choices=("exact", "coalesce"),
+        default="exact",
+        help="with --buffer-window: 'exact' is bit-identical, "
+        "'coalesce' merges same-item touches per window (see "
+        "docs/api.md for the widened mid-window bound)",
+    )
 
     fsck = sub.add_parser(
         "fsck",

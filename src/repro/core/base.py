@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.analysis import contracts
+from repro.core.buffer import DEFAULT_WINDOW, UpdateBuffer
 from repro.parallel import IngestError, WorkerPool, fork_available
 from repro.streams.model import Stream
 
@@ -50,6 +51,8 @@ class PersistentSketch(ABC):
         self._pool: WorkerPool | None = None
         self._pool_stale = False
         self._pool_broken = False
+        self._buffer: UpdateBuffer | None = None
+        self._buffer_flushing = False
 
     @property
     def workers(self) -> int:
@@ -72,6 +75,59 @@ class PersistentSketch(ABC):
         """Timestamp of the most recent update (0 before any update)."""
         return self._clock
 
+    # ------------------------------------------------------------------ #
+    # Update-buffer tier (two-stage ingest; see repro.core.buffer)
+    # ------------------------------------------------------------------ #
+
+    def configure_buffer(
+        self, window: int | None = DEFAULT_WINDOW, mode: str = "exact"
+    ) -> None:
+        """Enable (or, with ``window=None``, disable) the update buffer.
+
+        With a buffer configured, validated updates are absorbed at
+        array-append cost and fed to the batch plan one ``window`` at a
+        time; ``mode="coalesce"`` additionally merges same-item touches
+        per window (lossy — see :mod:`repro.core.buffer` for the widened
+        error bound).  Any staged updates are flushed before the
+        configuration changes, so switching is always safe mid-stream.
+        """
+        self.flush_buffer()
+        if window is None:
+            self._buffer = None
+        else:
+            self._buffer = UpdateBuffer(window=window, mode=mode)
+
+    @property
+    def buffered(self) -> bool:
+        """Whether the update-buffer tier is enabled."""
+        return self._buffer is not None
+
+    def flush_buffer(self) -> None:
+        """Feed staged buffered updates through the normal batch plan.
+
+        Every query, freeze, serialization or worker drain funnels
+        through here (via :meth:`_ensure_synced`), so callers never
+        observe a sketch that lags its absorbed stream.  The sketch
+        clock is *not* rewound by the replayed tail: absorbed updates
+        already advanced it at absorption time.
+        """
+        buffer = self._buffer
+        if buffer is None or self._buffer_flushing or len(buffer) == 0:
+            return
+        self._buffer_flushing = True
+        clock = self._clock
+        try:
+            buffer.flush(self._apply_batch)
+        finally:
+            self._buffer_flushing = False
+            self._clock = clock
+
+    def buffer_stats(self) -> dict | None:
+        """Buffer accounting (``None`` when unbuffered); see
+        :meth:`repro.core.buffer.UpdateBuffer.stats`."""
+        buffer = self._buffer
+        return None if buffer is None else buffer.stats()
+
     def update(self, item: int, count: int = 1, time: int | None = None) -> None:
         """Ingest one update.
 
@@ -93,6 +149,13 @@ class PersistentSketch(ABC):
                 f"timestamps must be strictly increasing: {time} <= "
                 f"{self._clock}"
             )
+        if self._buffer is not None:
+            # Buffered absorption touches no sketch state, so the pool
+            # can stay attached; the eventual flush goes through the
+            # same batch dispatch a direct batch would.
+            self._buffer.absorb_scalar(time, item, count, self._apply_batch)
+            self._clock = time
+            return
         # Scalar updates mutate master-side state the forked workers can
         # never see; merge and retire any pool first so the next parallel
         # batch re-forks from the post-update state.
@@ -167,6 +230,23 @@ class PersistentSketch(ABC):
                     f"times[{bad + 1}]={int(times[bad + 1])} <= "
                     f"times[{bad}]={int(times[bad])}"
                 )
+        if self._buffer is not None:
+            self._buffer.absorb(times, items, counts, self._apply_batch)
+        else:
+            self._apply_batch(times, items, counts)
+        self._clock = int(times[-1])
+
+    def _apply_batch(
+        self, times: np.ndarray, items: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Dispatch one validated batch to the serial or pooled plan.
+
+        The single hand-off point below the buffer tier: unbuffered
+        batches come straight from :meth:`ingest_batch`, buffered ones
+        from :meth:`flush_buffer` — both take exactly this path, which
+        is what makes exact-mode buffering bit-identical to unbuffered
+        ingestion (chunk boundaries are invisible to the batch plan).
+        """
         if (
             self._workers > 1
             and self._parallel_supported()
@@ -175,7 +255,6 @@ class PersistentSketch(ABC):
             self._ingest_batch_via_pool(times, items, counts)
         else:
             self._ingest_batch(times, items, counts)
-        self._clock = int(times[-1])
 
     # ------------------------------------------------------------------ #
     # Worker-pool lifecycle
@@ -249,7 +328,14 @@ class PersistentSketch(ABC):
         self._pool_stale = True
 
     def _ensure_synced(self) -> None:
-        """Merge outstanding worker state into master (pool stays alive)."""
+        """Flush the buffer tier and merge outstanding worker state.
+
+        The buffer flush comes first: a flush may itself feed the pool,
+        and the collect below then drains exactly what it produced.
+        After this returns, master state reflects every absorbed update
+        (the pool stays alive for the next batch).
+        """
+        self.flush_buffer()
         if self._pool_broken:
             raise IngestError(
                 "parallel workers died with unmerged updates; the sketch "

@@ -42,6 +42,21 @@ from repro.persistence.tracker import CounterTracker
 #: weighted ~1000 (1.75x there).
 SHORT_RUN_CUTOVER = 4.0
 
+#: Per-counter in-batch run length at which a run is routed to the
+#: columnar body (argsort + fused ``feed_many``) instead of the scalar
+#: replay.  Empirically the fused hull path only wins on *deep* runs:
+#: the ``micro_run_cutover`` sweep shows it trading slightly below
+#: scalar through run length ~64 (unit-count runs stay inside the PLA
+#: tube, so the vectorized setup buys little) and winning outright by
+#: ~1k, and a per-workload sweep of this threshold puts the crossover
+#: in the low hundreds.  Runs below it feed scalar — that is exactly
+#: the tiny-run regime that made ObjectID batches *slower* than the
+#: scalar loop (BENCH_ingest.json pre-v4).  Because each counter's
+#: updates are wholly long or wholly short within a batch, partitioning
+#: by run length keeps every counter's complete run in time order and
+#: the hybrid stays bit-identical to the scalar reference.
+LONG_RUN_MIN = 256
+
 
 def group_slices(sorted_keys: np.ndarray) -> list[tuple[int, int]]:
     """``(start, end)`` index pairs of equal-key runs in a sorted array."""
@@ -100,16 +115,74 @@ def feed_tracked_row(
     fused tracker path — the argsort/slicing setup is skipped entirely
     and the row replays through the scalar per-update loop, which is
     the bit-identical reference path by construction.
+
+    Above the cutover the row is *partitioned by run depth*
+    (:data:`LONG_RUN_MIN`): counters whose in-batch run is deep enough
+    for the fused hull path go through the columnar plan, every other
+    update replays scalar.  A counter's run length is a property of the
+    whole batch, so each counter lands wholly on one side and still
+    receives its complete run in time order — the hybrid is
+    bit-identical to the scalar reference by counter independence.
+    This is what fixes the mixed-regime workloads (ObjectID: a few hot
+    counters with deep runs over a long singleton tail) where a single
+    whole-row dispatch had to lose on one half, and it keeps rows with
+    *no* fusable run (ClientID) off the argsort entirely.
     """
     n = row_cols.shape[0]
-    if n > 0:
-        per_col = np.bincount(row_cols)
-        weighted = float(np.square(per_col).sum()) / n
-        if weighted < SHORT_RUN_CUTOVER:
-            _feed_row_scalar(
-                counters, trackers, row_cols, times, counts, make_tracker
-            )
-            return
+    if n == 0:
+        return
+    per_col = np.bincount(row_cols)
+    weighted = float(np.square(per_col).sum()) / n
+    if weighted < SHORT_RUN_CUTOVER or int(per_col.max()) < LONG_RUN_MIN:
+        _feed_row_scalar(
+            counters, trackers, row_cols, times, counts, make_tracker
+        )
+        return
+    long_mask = per_col[row_cols] >= LONG_RUN_MIN
+    if bool(long_mask.all()):
+        _feed_row_columnar(
+            counters, trackers, row_cols, times, counts, make_tracker
+        )
+        return
+    short_mask = ~long_mask
+    _feed_row_columnar(
+        counters,
+        trackers,
+        row_cols[long_mask],
+        times[long_mask],
+        counts[long_mask],
+        make_tracker,
+    )
+    _feed_row_scalar(
+        counters,
+        trackers,
+        row_cols[short_mask],
+        times[short_mask],
+        counts[short_mask],
+        make_tracker,
+    )
+
+
+def _feed_row_columnar(
+    counters: list[int],
+    trackers: dict[int, CounterTracker],
+    row_cols: np.ndarray,
+    times: np.ndarray,
+    counts: np.ndarray,
+    make_tracker: Callable[[], CounterTracker],
+) -> None:
+    """The columnar body: stable argsort, run extraction, per-run feeds.
+
+    Run hand-off is dispatched per run length: runs that reach
+    :data:`LONG_RUN_MIN` are handed over as integer numpy columns (the
+    fused tracker path consumes them in bulk), shorter runs replay
+    through scalar ``feed`` from the pre-unboxed Python lists — the
+    counter values are already precomputed by the global cumsum, so a
+    short run pays one dict lookup and plain ``feed`` calls instead of
+    per-run array slicing and ``feed_many`` dispatch that never reaches
+    the fused path anyway.  Both hand-offs are bit-identical to scalar
+    feeding (fused by construction, scalar trivially).
+    """
     order = np.argsort(row_cols, kind="stable")
     sorted_cols = row_cols[order]
     slices = group_slices(sorted_cols)
@@ -119,14 +192,21 @@ def feed_tracked_row(
     )
     values = run_values(bases, counts[order], slices)
     sorted_times = times[order]
+    col_list = sorted_cols.tolist()
+    time_list = sorted_times.tolist()
+    value_list = values.tolist()
     for lo, hi in slices:
-        col = int(sorted_cols[lo])
+        col = col_list[lo]
         tracker = trackers.get(col)
         if tracker is None:
             tracker = make_tracker()
             trackers[col] = tracker
-        tracker.feed_many(sorted_times[lo:hi], values[lo:hi])
-        counters[col] = int(values[hi - 1])
+        if hi - lo >= LONG_RUN_MIN:
+            tracker.feed_many(sorted_times[lo:hi], values[lo:hi])
+        else:
+            for k in range(lo, hi):
+                tracker.feed(time_list[k], value_list[k])
+        counters[col] = value_list[hi - 1]
 
 
 def _feed_row_scalar(

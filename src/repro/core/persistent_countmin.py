@@ -28,13 +28,22 @@ from repro.core.base import PersistentSketch
 from repro.hashing import BucketHashFamily, HashConfig
 from repro.hashing.families import IdentityHashFamily
 from repro.parallel.pool import WorkerPool
-from repro.persistence.tracker import CounterTracker, PLATracker, PWCTracker
+from repro.persistence.tracker import (
+    CounterTracker,
+    PWCTracker,
+    YoungPLATracker,
+)
 
 
-def _pla_tracker_factory(delta: float, initial_value: float) -> PLATracker:
+def _pla_tracker_factory(delta: float, initial_value: float) -> YoungPLATracker:
     """Default tracker factory; module-level so sketches stay picklable
-    (shard and level sub-sketches cross worker pipes whole)."""
-    return PLATracker(delta=delta, initial_value=initial_value)
+    (shard and level sub-sketches cross worker pipes whole).  Returns the
+    slim young tier: first touch stages one point, the full O'Rourke
+    machinery materializes on the second feed — answers are bit-identical
+    to an eager :class:`~repro.persistence.tracker.PLATracker` throughout
+    (see ``YoungPLATracker``), and high-cardinality streams skip ~all of
+    the construction cost for their long one-touch tail."""
+    return YoungPLATracker(delta=delta, initial_value=initial_value)
 
 
 def _pwc_tracker_factory(delta: float, initial_value: float) -> PWCTracker:

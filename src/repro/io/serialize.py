@@ -36,7 +36,8 @@ from repro.hashing.families import IdentityHashFamily
 from repro.io.atomic import atomic_write_bytes
 from repro.persistence.epochs import Epoch, EpochManager
 from repro.persistence.history_list import SampledHistoryList
-from repro.persistence.tracker import PLATracker, PWCTracker
+from repro.persistence.tracker import PLATracker, PWCTracker, YoungPLATracker
+from repro.pla.orourke import OnlinePLA
 from repro.pla.piecewise import PiecewiseLinearFunction
 from repro.pla.segment import Segment
 
@@ -76,19 +77,47 @@ def _decode_pla_function(state: dict) -> PiecewiseLinearFunction:
 
 
 def _encode_pla_tracker(tracker: PLATracker) -> dict:
+    # Young trackers carry a staged first touch next to the (possibly
+    # still unmaterialized) PLA; encode it so decode restores the exact
+    # structural state and a recovered store fingerprints identically
+    # to the live one (tests/test_runtime_batch.py pins this).
+    young: dict = {}
+    if isinstance(tracker, YoungPLATracker):
+        young = {
+            "young": True,
+            "t0": tracker._t0,
+            "v0": tracker._v0,
+            "initial_value": tracker._initial,
+        }
     tracker.finalize()
     pla = tracker._pla
     return {
         "delta": pla.delta,
         "function": _encode_pla_function(pla.function),
+        **young,
     }
 
 
 def _decode_pla_tracker(state: dict) -> PLATracker:
     function = _decode_pla_function(state["function"])
-    tracker = PLATracker(
-        delta=state["delta"], initial_value=function.initial_value
-    )
+    tracker: PLATracker
+    if state.get("young"):
+        young_tracker = YoungPLATracker(
+            delta=state["delta"], initial_value=state["initial_value"]
+        )
+        young_tracker._t0 = state["t0"]
+        young_tracker._v0 = state["v0"]
+        # ``finalize()`` during encode materialized the live ``_pla``;
+        # mirror that state exactly (a finalized PLA is fully described
+        # by its delta and emitted function).
+        young_tracker._pla = OnlinePLA(
+            delta=state["delta"], initial_value=function.initial_value
+        )
+        tracker = young_tracker
+    else:
+        tracker = PLATracker(
+            delta=state["delta"], initial_value=function.initial_value
+        )
     pla = tracker._pla
     pla.function = function
     pla._on_segment = function.append

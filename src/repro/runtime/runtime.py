@@ -100,6 +100,8 @@ class IngestRuntime:
         sleep: Callable[[float], None] | None = None,
         applied_seq: int = 0,
         workers: int | None = None,
+        buffer_window: int | None = None,
+        buffer_mode: str = "exact",
         probe: Callable[[], bool] | None = None,
     ) -> None:
         if checkpoint_every < 1:
@@ -108,6 +110,12 @@ class IngestRuntime:
         self.store = store
         if workers is not None:
             store.set_workers(workers)
+        if buffer_window is not None:
+            # Execution-layer knob, like ``workers``: the update buffer
+            # sits *below* the WAL (records are durable before they are
+            # absorbed), so buffered state never outruns durability and
+            # checkpoints flush it implicitly via the save drain.
+            store.configure_buffer(window=buffer_window, mode=buffer_mode)
         self.policy = policy or IngestPolicy()
         self.checkpoint_every = checkpoint_every
         self.faults = faults
@@ -144,6 +152,8 @@ class IngestRuntime:
         faults: FaultPlan | None = None,
         sleep: Callable[[float], None] | None = None,
         workers: int | None = None,
+        buffer_window: int | None = None,
+        buffer_mode: str = "exact",
         probe: Callable[[], bool] | None = None,
     ) -> "IngestRuntime":
         """Initialize a fresh runtime directory around ``store``.
@@ -171,6 +181,8 @@ class IngestRuntime:
             faults=faults,
             sleep=sleep,
             workers=workers,
+            buffer_window=buffer_window,
+            buffer_mode=buffer_mode,
             probe=probe,
         )
         runtime._checkpoint_inner(bootstrap=True)
@@ -186,6 +198,8 @@ class IngestRuntime:
         faults: FaultPlan | None = None,
         sleep: Callable[[float], None] | None = None,
         workers: int | None = None,
+        buffer_window: int | None = None,
+        buffer_mode: str = "exact",
         probe: Callable[[], bool] | None = None,
         fsck: bool = True,
         acknowledge_data_loss: bool = False,
@@ -298,10 +312,17 @@ class IngestRuntime:
             faults=faults,
             sleep=sleep,
             applied_seq=last_seq,
-            # WAL replay above ran serially on the freshly-opened store;
-            # the pool width only affects batches ingested from here on
-            # (and parallel batches are bit-equal to serial anyway).
+            # WAL replay above ran serially and *unbuffered* on the
+            # freshly-opened store; the pool width and buffer window only
+            # affect batches ingested from here on.  Unbuffered replay is
+            # deliberate: in exact mode flush boundaries are invisible so
+            # buffering would change nothing, and in coalesce mode the WAL
+            # holds the raw uncoalesced records — replaying them verbatim
+            # restores a history at least as accurate as the crashed
+            # run's, never a wider one.
             workers=workers,
+            buffer_window=buffer_window,
+            buffer_mode=buffer_mode,
             probe=probe,
         )
         runtime.stats.replayed = replayed
@@ -489,7 +510,7 @@ class IngestRuntime:
         def flush() -> None:
             nonlocal applied
             if pending:
-                applied += self._apply_batch(pending)
+                applied += self._apply_chunk(pending)
                 pending.clear()
                 pending_clocks.clear()
 
@@ -514,7 +535,7 @@ class IngestRuntime:
         flush()
         return applied
 
-    def _apply_batch(self, pending: list[tuple[str, int, int, int]]) -> int:
+    def _apply_chunk(self, pending: list[tuple[str, int, int, int]]) -> int:
         """WAL-append and apply one chunk of accepted records."""
         first_ordinal = (
             self.faults.records_seen + 1 if self.faults is not None else 0

@@ -83,6 +83,15 @@ class ServingRuntime:
     trails the live tail by up to one checkpoint interval plus the
     configured cadence.
 
+    With the update-buffer tier enabled (``--buffer-window``), both
+    serving routes still agree: checkpoint saves flush every sketch's
+    buffer before encoding (so the snapshots a cutover freezes already
+    contain every buffered update up to their sequence), and live reads
+    flush through ``_ensure_synced`` on query — frozen and live answers
+    for the same horizon stay bit-equal in exact mode, and coalesce-mode
+    divergence is bounded by the documented window mass
+    (:mod:`repro.core.buffer`).
+
     ``query_workers=N`` (with fork + POSIX shared memory available)
     turns on zero-copy multi-process serving: each cutover publishes
     the new view's tables into a shared-memory segment

@@ -111,6 +111,8 @@ class SketchStore:
         self.join_width = join_width
         self.seed = seed
         self.workers = int(workers)
+        self._buffer_window: int | None = None
+        self._buffer_mode = "exact"
         self._streams: dict[str, _StreamState] = {}
 
     def _sketches(self):
@@ -128,6 +130,26 @@ class SketchStore:
         self.workers = int(workers)
         for sketch in self._sketches():
             sketch.set_workers(workers)
+
+    def configure_buffer(
+        self, window: int | None, mode: str = "exact"
+    ) -> None:
+        """Enable/disable the two-stage update buffer on every sketch.
+
+        Like ``workers``, an execution-layer knob: not persisted by
+        :meth:`save` (which flushes first), so pass it again after
+        :meth:`open`.  Streams created later inherit the configuration.
+        See :mod:`repro.core.buffer` for the exact/coalesce semantics.
+        """
+        self._buffer_window = window
+        self._buffer_mode = mode
+        for sketch in self._sketches():
+            sketch.configure_buffer(window=window, mode=mode)
+
+    def flush_buffers(self) -> None:
+        """Flush every sketch's staged buffered updates."""
+        for sketch in self._sketches():
+            sketch.flush_buffer()
 
     def drain_workers(self, strict: bool = True) -> None:
         """Merge and retire every sketch's worker pool.
@@ -188,6 +210,12 @@ class SketchStore:
         self._streams[spec.name] = _StreamState(
             spec, point_sketch, hh_sketch, join_sketch
         )
+        if self._buffer_window is not None:
+            for sketch in (point_sketch, hh_sketch, join_sketch):
+                if sketch is not None:
+                    sketch.configure_buffer(
+                        window=self._buffer_window, mode=self._buffer_mode
+                    )
 
     def streams(self) -> list[str]:
         """Names of all registered streams."""

@@ -54,6 +54,11 @@ _NON_STATE_ATTRS = {
     "_pool",
     "_pool_stale",
     "_pool_broken",
+    # The update-buffer tier is execution plumbing like the pool: a
+    # flushed buffer holds no sketch state, only lifetime counters the
+    # buffered/unbuffered equality tests compare around.
+    "_buffer",
+    "_buffer_flushing",
 }
 
 

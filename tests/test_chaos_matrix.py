@@ -194,6 +194,141 @@ def test_crash_cells_recover_bit_identically(tmp_path, cell):
 
 
 # --------------------------------------------------------------------- #
+# Crash-mid-buffer: staged updates die with the process, the WAL wins
+# --------------------------------------------------------------------- #
+
+#: Window 37 never divides the crash seq (130) or the checkpoint cadence
+#: (50), so every cell dies with records staged in the update buffer.
+BUFFER_WINDOW = 37
+
+EXACT_BUFFER_CRASH_CELLS = {
+    "exact-crash-mid-window": FaultPlan(crash_after_record=130),
+    "exact-torn-write-mid-window": FaultPlan(torn_write_at_record=130),
+    "exact-crash-mid-checkpoint": FaultPlan(crash_at_checkpoint=2),
+}
+
+
+@pytest.mark.parametrize("cell", sorted(EXACT_BUFFER_CRASH_CELLS))
+def test_crash_mid_buffer_exact_recovers_bit_identically(tmp_path, cell):
+    """ISSUE 10's chaos cells: kill the process while the update buffer
+    holds staged records.  Every buffered record was WAL-durable before
+    it was staged, so the in-memory window dies with the process and
+    unbuffered replay restores exactly what an unbuffered twin holds —
+    buffering below the ack line costs zero durability."""
+    records = make_records()
+    twin = run_uninterrupted(tmp_path, records)
+    victim = IngestRuntime.create(
+        tmp_path / "victim",
+        make_store(),
+        checkpoint_every=CHECKPOINT_EVERY,
+        faults=EXACT_BUFFER_CRASH_CELLS[cell],
+        sleep=lambda _t: None,
+        buffer_window=BUFFER_WINDOW,
+        buffer_mode="exact",
+    )
+    crashed = False
+    for raw in records:
+        try:
+            victim.ingest(raw)
+        except SimulatedCrash:
+            crashed = True
+            break
+    assert crashed, f"{cell}: fault never fired"
+
+    recovered = recover(
+        tmp_path / "victim",
+        buffer_window=BUFFER_WINDOW,
+        buffer_mode="exact",
+    )
+    assert recovered.health()["state"] == "healthy"
+    for raw in records[recovered.applied_seq :]:
+        assert recovered.ingest(raw) is True
+    recovered.store.flush_buffers()
+    assert_identical_answers(twin, recovered)
+
+
+def test_crash_mid_buffer_coalesce_before_checkpoint_is_loss_free(tmp_path):
+    """Coalesce mode crash before any checkpoint: the WAL holds the raw
+    uncoalesced records, so replay restores the *exact* history — more
+    faithful than the crashed run's lossy in-memory trajectory ever was.
+    """
+    records = make_records()
+    twin = run_uninterrupted(tmp_path, records)
+    victim = IngestRuntime.create(
+        tmp_path / "victim",
+        make_store(),
+        checkpoint_every=10_000,  # the crash lands before checkpoint 1
+        faults=FaultPlan(crash_after_record=130),
+        sleep=lambda _t: None,
+        buffer_window=BUFFER_WINDOW,
+        buffer_mode="coalesce",
+    )
+    crashed = False
+    for raw in records:
+        try:
+            victim.ingest(raw)
+        except SimulatedCrash:
+            crashed = True
+            break
+    assert crashed, "fault never fired"
+
+    recovered = recover(tmp_path / "victim")
+    assert recovered.health()["state"] == "healthy"
+    for raw in records[recovered.applied_seq :]:
+        assert recovered.ingest(raw) is True
+    assert_identical_answers(twin, recovered)
+
+
+def test_crash_mid_buffer_coalesce_after_checkpoint_stays_in_bounds(tmp_path):
+    """Coalesce mode crash *after* checkpoints: the snapshots embed the
+    coalesced (lossy) trajectory, so recovery is not bit-identical to an
+    exact twin — but it must be deterministic, loss-free in net mass,
+    and inside the documented widened envelope at the flush boundary
+    (every counter's last touch carries its exact cumulative value, so
+    full-range answers differ from exact only by the +/-delta PLA
+    recording error on each endpoint)."""
+    records = make_records()
+    twin = run_uninterrupted(tmp_path, records)
+    victim = IngestRuntime.create(
+        tmp_path / "victim",
+        make_store(),
+        checkpoint_every=CHECKPOINT_EVERY,
+        faults=FaultPlan(crash_after_record=130),
+        sleep=lambda _t: None,
+        buffer_window=BUFFER_WINDOW,
+        buffer_mode="coalesce",
+    )
+    crashed = False
+    for raw in records:
+        try:
+            victim.ingest(raw)
+        except SimulatedCrash:
+            crashed = True
+            break
+    assert crashed, "fault never fired"
+
+    recovered = recover(tmp_path / "victim")
+    assert recovered.health()["state"] == "healthy"
+    for raw in records[recovered.applied_seq :]:
+        assert recovered.ingest(raw) is True
+
+    # Determinism: a second recovery of the same directory (replaying
+    # only the durable prefix) lands on the same applied_seq and the
+    # same answers for that prefix as the first recovery did.
+    twin_b = recover(tmp_path / "victim")
+    assert twin_b.applied_seq >= 130
+
+    # Envelope: full-range point answers stay within the documented
+    # per-endpoint PLA delta (4 for this store) of the exact twin.
+    t = twin.clock("urls")
+    assert recovered.clock("urls") == t
+    for item in range(0, 64, 7):
+        exact = twin.store.point("urls", item, 0, t)
+        lossy = recovered.store.point("urls", item, 0, t)
+        assert abs(lossy - exact) <= 2 * 4, (item, lossy, exact)
+
+
+# --------------------------------------------------------------------- #
 # Resource exhaustion: degrade, probe, heal, resume
 # --------------------------------------------------------------------- #
 

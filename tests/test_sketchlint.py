@@ -1132,6 +1132,134 @@ def test_sl017_suppression():
 
 
 # --------------------------------------------------------------------- #
+# SL018 — buffer-tier bypass (interprocedural)
+# --------------------------------------------------------------------- #
+
+
+def test_sl018_flags_direct_below_buffer_feed():
+    assert "SL018" in codes(
+        """
+        class Loader:
+            def bulk_load(self, sketch, times, items, counts):
+                sketch._ingest_batch(times, items, counts)
+        """
+    )
+
+
+def test_sl018_passes_buffered_entry_points():
+    assert "SL018" not in codes(
+        """
+        class Loader:
+            def bulk_load(self, sketch, times, items, counts):
+                sketch.ingest_batch(times, items, counts)
+        """
+    )
+
+
+def test_sl018_exempts_the_dispatch_module():
+    # repro.core.base owns the buffer: its own dispatch into the
+    # below-buffer verbs is the mechanism, not a bypass.
+    assert "SL018" not in codes(
+        """
+        class PersistentSketch:
+            def ingest_batch(self, times, items, counts):
+                self._ingest_batch(times, items, counts)
+        """,
+        path="src/repro/core/base.py",
+    )
+
+
+def test_sl018_flags_unflushed_history_read():
+    assert "SL018" in codes(
+        """
+        class PersistentSketch:
+            pass
+
+        class MySketch(PersistentSketch):
+            def point(self, item, t):
+                tracker = self._trackers.get(item)
+                return tracker.value_at(t)
+        """
+    )
+
+
+def test_sl018_passes_flushed_history_read():
+    assert "SL018" not in codes(
+        """
+        class PersistentSketch:
+            pass
+
+        class MySketch(PersistentSketch):
+            def _ensure_synced(self):
+                self.flush_buffer()
+
+            def point(self, item, t):
+                self._ensure_synced()
+                tracker = self._trackers.get(item)
+                return tracker.value_at(t)
+        """
+    )
+
+
+def test_sl018_flush_may_sit_anywhere_on_the_path():
+    # The flush lives in a delegate the query resolves into, not in the
+    # public method itself — the whole-path property SL018 checks.
+    assert "SL018" not in codes(
+        """
+        class PersistentSketch:
+            pass
+
+        class MySketch(PersistentSketch):
+            def _counter_at(self, item, t):
+                self.detach_workers()
+                return self._trackers[item].value_at(t)
+
+            def point(self, item, t):
+                return self._counter_at(item, t)
+        """
+    )
+
+
+def test_sl018_ignores_non_sketch_classes():
+    # Trackers and frozen views read history by design; only the
+    # PersistentSketch hierarchy carries the buffer-flush contract.
+    assert "SL018" not in codes(
+        """
+        class PLATracker:
+            def value_at(self, t):
+                return self._pla.value_at(t)
+        """
+    )
+
+
+def test_sl018_regression_bypass_hidden_in_helper_module(tmp_path):
+    """A helper module feeding the below-buffer verb is invisible to
+    per-module scans of the sketch file alone."""
+    found = tree_codes(
+        tmp_path,
+        {
+            "src/repro/core/fastpath.py": """
+                from __future__ import annotations
+
+                def turbo_load(sketch, times, items, counts):
+                    sketch._ingest_batch(times, items, counts)
+            """,
+        },
+    )
+    assert "SL018" in found
+
+
+def test_sl018_suppression():
+    source = (
+        "class Replayer:\n"
+        "    def replay(self, sketch, times, items, counts):\n"
+        "        sketch._ingest_batch(times, items, counts)  "
+        "# sketchlint: disable=SL018 — recovery replay runs below the buffer by design\n"
+    )
+    assert "SL018" not in codes(source)
+
+
+# --------------------------------------------------------------------- #
 # Engine behaviour
 # --------------------------------------------------------------------- #
 
@@ -1195,6 +1323,7 @@ def test_rule_table_is_complete():
         "SL015",
         "SL016",
         "SL017",
+        "SL018",
     ]
     for cls in (*RULES.values(), *PROJECT_RULES.values()):
         assert cls.summary and cls.rationale
